@@ -1,0 +1,25 @@
+package spanner
+
+import (
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/graph"
+)
+
+// baswanaSen indirection keeps the re-export surface in spanner.go tidy.
+func baswanaSen(rng *rand.Rand, g *graph.Graph, k int) (*graph.Graph, error) {
+	return baseline.BaswanaSen(rng, g, k)
+}
+
+// ThetaGraph builds the Θ-graph baseline on 2-D points with k cones.
+func ThetaGraph(pts [][]float64, k int) (*Graph, error) { return baseline.ThetaGraph(pts, k) }
+
+// YaoGraph builds the Yao-graph baseline on 2-D points with k cones.
+func YaoGraph(pts [][]float64, k int) (*Graph, error) { return baseline.YaoGraph(pts, k) }
+
+// WSPDSpanner builds the WSPD-based (1+eps)-spanner baseline (any
+// dimension).
+func WSPDSpanner(pts [][]float64, eps float64) (*Graph, error) {
+	return baseline.WSPDSpanner(pts, eps)
+}

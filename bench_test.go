@@ -1,0 +1,218 @@
+package spanner
+
+// This file hosts one testing.B benchmark per experiment in DESIGN.md's
+// per-experiment index (E1–E10), each regenerating the corresponding
+// figure/claim of the paper at reduced scale, plus micro-benchmarks for the
+// core constructions. Run the full-scale experiment tables with:
+//
+//	go run ./cmd/spannerbench -scale full
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/metric"
+)
+
+func BenchmarkE1Figure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E1Figure1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2GeneralGraphs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E2GeneralGraphs(bench.Small, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3SelfSpanner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E3SelfSpanner(bench.Small, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4DoublingLightness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E4DoublingLightness(bench.Small, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5ApproxGreedy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E5ApproxGreedy(bench.Small, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E6Comparison(bench.Small, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7MSTContainment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E7MSTContainment(bench.Small, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8LogStretch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E8LogStretch(bench.Small, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9UnboundedDegree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E9UnboundedDegree(bench.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10Lemma11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E10Lemma11(bench.Small, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks for the core constructions ---
+
+func benchGraph(n int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return gen.ErdosRenyi(rng, n, 0.2, 0.5, 10)
+}
+
+func BenchmarkGreedyGraphN200(b *testing.B) {
+	g := benchGraph(200, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreedyGraph(g, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMetric(n int, seed int64) Metric {
+	rng := rand.New(rand.NewSource(seed))
+	return metric.MustEuclidean(gen.UniformPoints(rng, n, 2))
+}
+
+func BenchmarkGreedyMetricNaiveN128(b *testing.B) {
+	m := benchMetric(128, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreedyMetric(m, 1.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyMetricFastN128(b *testing.B) {
+	m := benchMetric(128, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreedyMetricFast(m, 1.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyMetricFastN512(b *testing.B) {
+	m := benchMetric(512, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreedyMetricFast(m, 1.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApproxGreedyN512(b *testing.B) {
+	m := benchMetric(512, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := approx.Greedy(m, approx.Options{Eps: 0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDijkstraN1000(b *testing.B) {
+	g := benchGraph(1000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Dijkstra(i % g.N())
+	}
+}
+
+func BenchmarkMSTKruskalN1000(b *testing.B) {
+	g := benchGraph(1000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.MSTKruskal()
+	}
+}
+
+// --- Ablation benchmarks (design-choice probes from DESIGN.md) ---
+
+func BenchmarkA1Deputies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.A1Deputies(bench.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkA2BucketWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.A2BucketWidth(bench.Small, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkA3Certification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.A3Certification(bench.Small, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11FaultTolerance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E11FaultTolerance(bench.Small, 11); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12GraphFamilies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E12GraphFamilies(bench.Small, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

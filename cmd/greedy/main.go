@@ -1,0 +1,217 @@
+// Command greedy reads a weighted graph or a point set from a file and
+// writes the greedy t-spanner along with its quality statistics.
+//
+// Usage:
+//
+//	greedy -t 3 -graph edges.txt        # graph input: lines "u v w"
+//	greedy -t 1.5 -points pts.txt       # point input: lines "x1 x2 ... xd"
+//	greedy -t 1.5 -points pts.txt -algo approx   # approximate-greedy
+//
+// Graph files list one edge per line as "u v w" with integer vertex ids
+// (vertex count is inferred as max id + 1). Point files list one point per
+// line as whitespace-separated coordinates; the Euclidean metric over the
+// points is spanned. Lines starting with '#' are skipped.
+//
+// Output: one spanner edge per line ("u v w"), then a "# stats" trailer
+// with size, weight, lightness, max degree, and measured max stretch.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metric"
+	"repro/internal/verify"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "greedy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("greedy", flag.ContinueOnError)
+	t := fs.Float64("t", 2, "stretch parameter (>= 1)")
+	graphPath := fs.String("graph", "", "path to an edge-list graph file")
+	pointsPath := fs.String("points", "", "path to a point-set file")
+	algo := fs.String("algo", "greedy", "construction: greedy or approx (points only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *graphPath != "" && *pointsPath != "":
+		return fmt.Errorf("use exactly one of -graph or -points")
+	case *graphPath != "":
+		g, err := readGraph(*graphPath)
+		if err != nil {
+			return err
+		}
+		res, err := core.GreedyGraph(g, *t)
+		if err != nil {
+			return err
+		}
+		return writeGraphResult(out, res, g, *t)
+	case *pointsPath != "":
+		pts, err := readPoints(*pointsPath)
+		if err != nil {
+			return err
+		}
+		m, err := metric.NewEuclidean(pts)
+		if err != nil {
+			return err
+		}
+		switch *algo {
+		case "greedy":
+			res, err := core.GreedyMetricFast(m, *t)
+			if err != nil {
+				return err
+			}
+			return writeMetricResult(out, res.Graph(), m, *t)
+		case "approx":
+			if *t <= 1 || *t >= 2 {
+				return fmt.Errorf("approx needs 1 < t < 2, got %v", *t)
+			}
+			res, err := approx.Greedy(m, approx.Options{Eps: *t - 1})
+			if err != nil {
+				return err
+			}
+			return writeMetricResult(out, res.Spanner, m, *t)
+		default:
+			return fmt.Errorf("unknown algo %q", *algo)
+		}
+	default:
+		return fmt.Errorf("one of -graph or -points is required")
+	}
+}
+
+func readGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	type edge struct {
+		u, v int
+		w    float64
+	}
+	var edges []edge
+	maxID := -1
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want 'u v w', got %q", path, line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		w, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		edges = append(edges, edge{u, v, w})
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g := graph.New(maxID + 1)
+	for _, e := range edges {
+		if err := g.AddEdge(e.u, e.v, e.w); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func readPoints(path string) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pts [][]float64
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		p := make([]float64, len(fields))
+		for i, fstr := range fields {
+			v, err := strconv.ParseFloat(fstr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+			}
+			p[i] = v
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+func writeGraphResult(out *os.File, res *core.Result, g *graph.Graph, t float64) error {
+	h := res.Graph()
+	for _, e := range res.Edges {
+		fmt.Fprintf(out, "%d %d %g\n", e.U, e.V, e.W)
+	}
+	rep, err := verify.Spanner(h, g, t, 1e-9)
+	if err != nil {
+		return fmt.Errorf("output failed verification: %w", err)
+	}
+	light, err := verify.Lightness(h, g)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "# stats: edges=%d weight=%g lightness=%.4f maxdeg=%d maxstretch=%.4f\n",
+		res.Size(), res.Weight, light, h.MaxDegree(), rep.MaxStretch)
+	return nil
+}
+
+func writeMetricResult(out *os.File, h *graph.Graph, m metric.Metric, t float64) error {
+	for _, e := range h.Edges() {
+		fmt.Fprintf(out, "%d %d %g\n", e.U, e.V, e.W)
+	}
+	rep, err := verify.MetricSpanner(h, m, t, 1e-9)
+	if err != nil {
+		return fmt.Errorf("output failed verification: %w", err)
+	}
+	light, err := verify.MetricLightness(h, m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "# stats: edges=%d weight=%g lightness=%.4f maxdeg=%d maxstretch=%.4f\n",
+		h.M(), h.Weight(), light, h.MaxDegree(), rep.MaxStretch)
+	return nil
+}

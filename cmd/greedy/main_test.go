@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCapture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	runErr := run(args, out)
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRunGraphInput(t *testing.T) {
+	path := writeTemp(t, "g.txt", "# triangle\n0 1 1\n1 2 1\n0 2 1\n")
+	got, err := runCapture(t, []string{"-t", "2", "-graph", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "# stats: edges=2") {
+		t.Fatalf("unexpected output:\n%s", got)
+	}
+}
+
+func TestRunPointsInput(t *testing.T) {
+	path := writeTemp(t, "p.txt", "0 0\n1 0\n2 0\n0.5 1\n")
+	got, err := runCapture(t, []string{"-t", "1.5", "-points", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "# stats:") || !strings.Contains(got, "maxstretch=") {
+		t.Fatalf("unexpected output:\n%s", got)
+	}
+}
+
+func TestRunPointsApprox(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&sb, "%.4f %.4f\n", float64(i)*0.13, float64(i*i%7)*0.21)
+	}
+	path := writeTemp(t, "p.txt", sb.String())
+	got, err := runCapture(t, []string{"-t", "1.5", "-points", path, "-algo", "approx"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "# stats:") {
+		t.Fatalf("unexpected output:\n%s", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g := writeTemp(t, "g.txt", "0 1 1\n")
+	p := writeTemp(t, "p.txt", "0 0\n1 1\n")
+	cases := [][]string{
+		{},                          // no input
+		{"-graph", g, "-points", p}, // both inputs
+		{"-graph", filepath.Join(t.TempDir(), "missing")}, // unreadable
+		{"-t", "0.5", "-graph", g},                        // bad stretch
+		{"-points", p, "-algo", "nope"},                   // unknown algo
+		{"-points", p, "-algo", "approx", "-t", "3"},      // approx needs t < 2
+	}
+	for _, args := range cases {
+		if _, err := runCapture(t, args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestReadGraphBadLines(t *testing.T) {
+	cases := []string{
+		"0 1\n",
+		"x 1 2\n",
+		"0 y 2\n",
+		"0 1 z\n",
+	}
+	for _, c := range cases {
+		path := writeTemp(t, "bad.txt", c)
+		if _, err := readGraph(path); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+}
+
+func TestReadPointsBadLine(t *testing.T) {
+	path := writeTemp(t, "bad.txt", "1.0 zzz\n")
+	if _, err := readPoints(path); err == nil {
+		t.Error("bad point accepted")
+	}
+}

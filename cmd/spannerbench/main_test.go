@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-scale", "bogus"}); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	if err := run([]string{"-exp", "e99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-bogus-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	// e1 is deterministic and fast; it exercises the full path through
+	// table rendering.
+	if err := run([]string{"-exp", "e1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallAblation(t *testing.T) {
+	if err := run([]string{"-exp", "a2", "-scale", "small"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: build a greedy t-spanner of a small weighted graph with the
+// public API, verify its stretch, and print its quality statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	spanner "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A ring of 12 vertices with unit edges plus random chords: the chords
+	// are mostly redundant at stretch 3, so the greedy spanner strips them.
+	const n = 12
+	g := spanner.NewGraph(n)
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(i, (i+1)%n, 1); err != nil {
+			return err
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for c := 0; c < 8; c++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v, 1.5+rng.Float64()); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("input graph: %d vertices, %d edges, weight %.2f\n", g.N(), g.M(), g.Weight())
+
+	const t = 3.0
+	res, err := spanner.Greedy(g, t)
+	if err != nil {
+		return err
+	}
+	h := res.Graph()
+	fmt.Printf("greedy %.0f-spanner: %d edges, weight %.2f\n", t, res.Size(), res.Weight)
+
+	// Verify the stretch over every input edge (which implies all pairs).
+	rep, err := spanner.VerifySpanner(h, g, t)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("verified: max stretch %.3f over %d edges (bound %.0f)\n", rep.MaxStretch, rep.Pairs, t)
+
+	// Lightness: spanner weight relative to the MST (the paper's Psi).
+	light, err := spanner.Lightness(h, g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lightness Psi(H) = %.3f, max degree = %d\n", light, h.MaxDegree())
+
+	// Lemma 3 of the paper: the greedy spanner is its own unique t-spanner
+	// — no edge of H can be replaced by a path.
+	if v := spanner.VerifySelfSpanner(h, t); len(v) == 0 {
+		fmt.Println("Lemma 3 check: every spanner edge is irreplaceable ✓")
+	} else {
+		return fmt.Errorf("unexpected self-spanner violations: %v", v)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package approx
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/metric"
+	"repro/internal/verify"
+)
+
+func TestGreedyRecordsAttemptStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	m := metric.MustEuclidean(gen.UniformPoints(rng, 50, 2))
+	res, err := Greedy(m, Options{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Attempts < 1 {
+		t.Fatalf("Attempts = %d, want >= 1", res.Stats.Attempts)
+	}
+	if res.Stats.BaseGamma <= 0 {
+		t.Fatalf("BaseGamma = %v, want > 0", res.Stats.BaseGamma)
+	}
+}
+
+func TestGreedyExplicitMuAndDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	m := metric.MustEuclidean(gen.UniformPoints(rng, 60, 2))
+	base, err := Greedy(m, Options{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explicit mu/delta must not change correctness, and decisions are
+	// delta-independent thanks to the exact fallback tier.
+	for _, opts := range []Options{
+		{Eps: 0.5, Mu: 4},
+		{Eps: 0.5, Delta: 0.1},
+		{Eps: 0.5, Mu: 1.5, Delta: 0.002},
+	} {
+		res, err := Greedy(m, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if _, err := verify.MetricSpanner(res.Spanner, m, 1.5, 1e-9); err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if res.Spanner.M() != base.Spanner.M() {
+			t.Fatalf("%+v: decision drift: %d vs %d edges", opts, res.Spanner.M(), base.Spanner.M())
+		}
+	}
+}
+
+func TestGreedyOnRingGadgetBoundsDegree(t *testing.T) {
+	// The E9 headline as a unit test: the approximate-greedy degree on the
+	// ring gadget stays below greedy's hub degree once scales grow.
+	m, err := gen.UnboundedDegreeMetric(6, 8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Greedy(m, Options{Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.MetricSpanner(res.Spanner, m, 1.1, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Spanner.MaxDegree(); d >= m.N()-1 {
+		t.Fatalf("approx degree %d matches greedy's unbounded hub (n-1 = %d)", d, m.N()-1)
+	}
+}
+
+func TestGreedyOnGraphInducedMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	g := gen.ErdosRenyi(rng, 40, 0.3, 0.5, 4)
+	m, err := metric.FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Greedy(m, Options{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.MetricSpanner(res.Spanner, m, 1.5, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}

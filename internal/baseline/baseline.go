@@ -1,0 +1,314 @@
+// Package baseline implements the competing spanner constructions used in
+// the experimental comparison (experiment E6, reproducing the folklore from
+// [FG05, Far08] that the paper cites: greedy is roughly 10x sparser and 30x
+// lighter than other popular constructions): Θ-graphs and Yao graphs for
+// planar point sets, the WSPD spanner for any dimension, and the
+// Baswana–Sen randomized (2k-1)-spanner for general weighted graphs.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/metric"
+)
+
+// ThetaGraph builds the Θ-graph on 2-D points with k >= 4 cones per point:
+// each point connects to, in every cone of angle 2π/k around it, the point
+// whose projection onto the cone's bisector is nearest. The result is a
+// t-spanner for t = 1 / (cos θ - sin θ) with θ = 2π/k (finite for k >= 9).
+// O(k n^2) time (a simple scan; the classic O(n log n) sweep is not needed
+// at benchmark scale).
+func ThetaGraph(pts [][]float64, k int) (*graph.Graph, error) {
+	if err := check2D(pts); err != nil {
+		return nil, err
+	}
+	if k < 4 {
+		return nil, fmt.Errorf("baseline: theta graph needs k >= 4 cones, got %d", k)
+	}
+	n := len(pts)
+	g := graph.New(n)
+	theta := 2 * math.Pi / float64(k)
+	for i := 0; i < n; i++ {
+		// best[c] is the index minimizing projection length in cone c.
+		best := make([]int, k)
+		bestProj := make([]float64, k)
+		for c := range best {
+			best[c] = -1
+			bestProj[c] = math.Inf(1)
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			dx := pts[j][0] - pts[i][0]
+			dy := pts[j][1] - pts[i][1]
+			ang := math.Atan2(dy, dx)
+			if ang < 0 {
+				ang += 2 * math.Pi
+			}
+			c := int(ang / theta)
+			if c >= k {
+				c = k - 1
+			}
+			// Projection onto the cone bisector.
+			bis := (float64(c) + 0.5) * theta
+			proj := dx*math.Cos(bis) + dy*math.Sin(bis)
+			if proj < bestProj[c] {
+				bestProj[c] = proj
+				best[c] = j
+			}
+		}
+		for _, j := range best {
+			if j >= 0 && !g.HasEdge(i, j) {
+				g.MustAddEdge(i, j, geom.Dist(pts[i], pts[j]))
+			}
+		}
+	}
+	return g, nil
+}
+
+// YaoGraph builds the Yao graph on 2-D points with k >= 4 cones: each point
+// connects to the nearest point (by Euclidean distance) in each cone. A
+// t-spanner for t = 1/(1 - 2 sin(π/k)) once k > 6. O(k n^2).
+func YaoGraph(pts [][]float64, k int) (*graph.Graph, error) {
+	if err := check2D(pts); err != nil {
+		return nil, err
+	}
+	if k < 4 {
+		return nil, fmt.Errorf("baseline: yao graph needs k >= 4 cones, got %d", k)
+	}
+	n := len(pts)
+	g := graph.New(n)
+	theta := 2 * math.Pi / float64(k)
+	for i := 0; i < n; i++ {
+		best := make([]int, k)
+		bestD := make([]float64, k)
+		for c := range best {
+			best[c] = -1
+			bestD[c] = math.Inf(1)
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			dx := pts[j][0] - pts[i][0]
+			dy := pts[j][1] - pts[i][1]
+			ang := math.Atan2(dy, dx)
+			if ang < 0 {
+				ang += 2 * math.Pi
+			}
+			c := int(ang / theta)
+			if c >= k {
+				c = k - 1
+			}
+			if d := math.Hypot(dx, dy); d < bestD[c] {
+				bestD[c] = d
+				best[c] = j
+			}
+		}
+		for _, j := range best {
+			if j >= 0 && !g.HasEdge(i, j) {
+				g.MustAddEdge(i, j, geom.Dist(pts[i], pts[j]))
+			}
+		}
+	}
+	return g, nil
+}
+
+func check2D(pts [][]float64) error {
+	if len(pts) == 0 {
+		return fmt.Errorf("baseline: no points")
+	}
+	for i, p := range pts {
+		if len(p) != 2 {
+			return fmt.Errorf("baseline: point %d has dim %d, want 2", i, len(p))
+		}
+	}
+	return nil
+}
+
+// WSPDSpanner builds a (1+eps)-spanner from a well-separated pair
+// decomposition with separation s = 4(t+1)/(t-1), t = 1+eps: one edge
+// between representatives per pair. Works in any dimension; O(s^d n) edges.
+func WSPDSpanner(pts [][]float64, eps float64) (*graph.Graph, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("baseline: eps must be positive, got %v", eps)
+	}
+	tree, err := geom.BuildSplitTree(pts)
+	if err != nil {
+		return nil, err
+	}
+	t := 1 + eps
+	s := 4 * (t + 1) / (t - 1)
+	g := graph.New(len(pts))
+	for _, pr := range tree.WSPD(s) {
+		u, v := pr.A.Rep, pr.B.Rep
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, geom.Dist(pts[u], pts[v]))
+		}
+	}
+	return g, nil
+}
+
+// BaswanaSen runs the randomized (2k-1)-spanner algorithm of Baswana and
+// Sen (ICALP'03 / RSA'07) on a weighted graph: k-1 clustering phases with
+// sampling probability n^{-1/k}, then a vertex-cluster joining phase. The
+// output is always a (2k-1)-spanner; its expected size is O(k n^{1+1/k}).
+func BaswanaSen(rng *rand.Rand, g *graph.Graph, k int) (*graph.Graph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: k must be >= 1, got %d", k)
+	}
+	n := g.N()
+	out := graph.New(n)
+	if k == 1 {
+		// (2*1-1)=1-spanner: keep everything.
+		for _, e := range g.Edges() {
+			out.MustAddEdge(e.U, e.V, e.W)
+		}
+		return out, nil
+	}
+	p := math.Pow(float64(n), -1.0/float64(k))
+
+	// cluster[v] = center of v's cluster at the current level, or -1 if v
+	// has been discarded from the clustering.
+	cluster := make([]int, n)
+	for v := range cluster {
+		cluster[v] = v
+	}
+	// Live edge set, pruned as the algorithm discards covered edges.
+	type edge = graph.Edge
+	live := g.EdgesCopy()
+
+	addEdge := func(e edge) {
+		if !out.HasEdge(e.U, e.V) {
+			out.MustAddEdge(e.U, e.V, e.W)
+		}
+	}
+
+	// buildAdj groups, for every vertex, the lightest live edge into each
+	// adjacent cluster (keyed by cluster center). O(m) per phase.
+	buildAdj := func(live []edge, cluster []int) []map[int]edge {
+		adj := make([]map[int]edge, n)
+		at := func(v, o int, e edge) {
+			c := cluster[o]
+			if c < 0 {
+				return
+			}
+			if adj[v] == nil {
+				adj[v] = make(map[int]edge)
+			}
+			if cur, ok := adj[v][c]; !ok || e.W < cur.W {
+				adj[v][c] = e
+			}
+		}
+		for _, e := range live {
+			at(e.U, e.V, e)
+			at(e.V, e.U, e)
+		}
+		return adj
+	}
+
+	for phase := 1; phase <= k-1; phase++ {
+		// Sample cluster centers.
+		sampled := make(map[int]bool)
+		centers := make(map[int]bool)
+		for v := 0; v < n; v++ {
+			if c := cluster[v]; c >= 0 {
+				centers[c] = true
+			}
+		}
+		for c := range centers {
+			if rng.Float64() < p {
+				sampled[c] = true
+			}
+		}
+		next := make([]int, n)
+		for v := range next {
+			next[v] = -1
+		}
+		// Vertices in sampled clusters stay put.
+		for v := 0; v < n; v++ {
+			if c := cluster[v]; c >= 0 && sampled[c] {
+				next[v] = c
+			}
+		}
+		var stillLive []edge
+		discard := make(map[[2]int]bool) // (vertex, cluster) pairs whose edges die
+		discardVertex := make([]bool, n) // vertices leaving the clustering entirely
+		adjAll := buildAdj(live, cluster)
+		for v := 0; v < n; v++ {
+			if cluster[v] < 0 || sampled[cluster[v]] {
+				continue
+			}
+			adj := adjAll[v]
+			// Find the lightest edge into a sampled adjacent cluster.
+			bestC, bestE := -1, edge{W: math.Inf(1)}
+			for c, e := range adj {
+				if sampled[c] && e.W < bestE.W {
+					bestC, bestE = c, e
+				}
+			}
+			if bestC < 0 {
+				// Not adjacent to any sampled cluster: add the lightest edge
+				// to every adjacent cluster; v leaves the clustering and all
+				// its incident edges are removed (each is now covered via
+				// the added cluster edges).
+				for _, e := range adj {
+					addEdge(e)
+				}
+				discardVertex[v] = true
+			} else {
+				// Join the sampled cluster via the lightest edge; also add
+				// the lighter-than-bestE edges to other clusters.
+				addEdge(bestE)
+				next[v] = bestC
+				discard[[2]int{v, bestC}] = true
+				for c, e := range adj {
+					if c != bestC && e.W < bestE.W {
+						addEdge(e)
+						discard[[2]int{v, c}] = true
+					}
+				}
+			}
+		}
+		// Prune live edges: drop edges covered by this phase's additions
+		// (edges from v into clusters v connected to) and intra-cluster
+		// edges of the new clustering.
+		for _, e := range live {
+			if discardVertex[e.U] || discardVertex[e.V] {
+				continue
+			}
+			cu, cv := cluster[e.U], cluster[e.V]
+			if discard[[2]int{e.U, cv}] || discard[[2]int{e.V, cu}] {
+				continue
+			}
+			nu, nv := next[e.U], next[e.V]
+			if nu >= 0 && nu == nv {
+				continue // intra-cluster at the new level
+			}
+			stillLive = append(stillLive, e)
+		}
+		live = stillLive
+		cluster = next
+	}
+
+	// Phase 2: every still-clustered vertex adds its lightest edge to each
+	// adjacent cluster.
+	adjAll := buildAdj(live, cluster)
+	for v := 0; v < n; v++ {
+		for _, e := range adjAll[v] {
+			addEdge(e)
+		}
+	}
+	return out, nil
+}
+
+// BaswanaSenMetric runs BaswanaSen on the complete distance graph of a
+// metric, the form used in the E6 comparison table.
+func BaswanaSenMetric(rng *rand.Rand, m metric.Metric, k int) (*graph.Graph, error) {
+	return BaswanaSen(rng, metric.CompleteGraph(m), k)
+}

@@ -1,0 +1,156 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/metric"
+	"repro/internal/verify"
+)
+
+func TestThetaGraphIsSpanner(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := gen.UniformPoints(rng, 60, 2)
+	m := metric.MustEuclidean(pts)
+	k := 12
+	g, err := ThetaGraph(pts, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := 2 * math.Pi / float64(k)
+	stretch := 1 / (math.Cos(theta) - math.Sin(theta))
+	if _, err := verify.MetricSpanner(g, m, stretch, 1e-9); err != nil {
+		t.Fatalf("theta graph stretch bound violated: %v", err)
+	}
+	if !g.Connected() {
+		t.Fatal("theta graph disconnected")
+	}
+}
+
+func TestThetaGraphValidation(t *testing.T) {
+	if _, err := ThetaGraph(nil, 8); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := ThetaGraph([][]float64{{1, 2, 3}}, 8); err == nil {
+		t.Fatal("3D accepted")
+	}
+	if _, err := ThetaGraph([][]float64{{1, 2}}, 3); err == nil {
+		t.Fatal("k=3 accepted")
+	}
+}
+
+func TestYaoGraphIsSpanner(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := gen.UniformPoints(rng, 60, 2)
+	m := metric.MustEuclidean(pts)
+	k := 12
+	g, err := YaoGraph(pts, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stretch := 1 / (1 - 2*math.Sin(math.Pi/float64(k)))
+	if _, err := verify.MetricSpanner(g, m, stretch, 1e-9); err != nil {
+		t.Fatalf("yao graph stretch bound violated: %v", err)
+	}
+	if !g.Connected() {
+		t.Fatal("yao graph disconnected")
+	}
+}
+
+func TestWSPDSpannerIsSpanner(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, eps := range []float64{0.5, 1.0} {
+		pts := gen.UniformPoints(rng, 50, 2)
+		m := metric.MustEuclidean(pts)
+		g, err := WSPDSpanner(pts, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := verify.MetricSpanner(g, m, 1+eps, 1e-9); err != nil {
+			t.Fatalf("eps=%v: %v", eps, err)
+		}
+		if !g.Connected() {
+			t.Fatalf("eps=%v: wspd spanner disconnected", eps)
+		}
+	}
+	if _, err := WSPDSpanner(gen.UniformPoints(rng, 5, 2), -1); err == nil {
+		t.Fatal("negative eps accepted")
+	}
+}
+
+func TestWSPDSpannerHigherDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := gen.UniformPoints(rng, 40, 3)
+	m := metric.MustEuclidean(pts)
+	g, err := WSPDSpanner(pts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.MetricSpanner(g, m, 1.5, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaswanaSenStretch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range []int{2, 3} {
+		for trial := 0; trial < 5; trial++ {
+			g := gen.ErdosRenyi(rng, 40, 0.3, 0.5, 10)
+			sp, err := BaswanaSen(rng, g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tt := float64(2*k - 1)
+			if _, err := verify.Spanner(sp, g, tt, 1e-9); err != nil {
+				t.Fatalf("k=%d trial %d: %v", k, trial, err)
+			}
+		}
+	}
+}
+
+func TestBaswanaSenK1KeepsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := gen.ErdosRenyi(rng, 20, 0.3, 1, 5)
+	sp, err := BaswanaSen(rng, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.M() != g.M() {
+		t.Fatalf("k=1 kept %d of %d edges", sp.M(), g.M())
+	}
+	if _, err := BaswanaSen(rng, g, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestBaswanaSenSparsifiesDenseGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := gen.UniformPoints(rng, 80, 2)
+	m := metric.MustEuclidean(pts)
+	sp, err := BaswanaSenMetric(rng, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := 80 * 79 / 2
+	if sp.M() >= full/2 {
+		t.Fatalf("BS kept %d of %d edges; expected substantial sparsification", sp.M(), full)
+	}
+	if _, err := verify.MetricSpanner(sp, m, 5, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaswanaSenOnMetricCompleteGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := gen.UniformPoints(rng, 30, 2)
+	m := metric.MustEuclidean(pts)
+	sp, err := BaswanaSenMetric(rng, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.MetricSpanner(sp, m, 3, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package bench
+
+import "testing"
+
+func TestA1DeputiesSmall(t *testing.T) {
+	tab, err := A1Deputies(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: ring gadget on/off, uniform on/off.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// On the gadget, deputies must not increase the max degree.
+	on := atoiMust(t, tab.Rows[0][4])
+	off := atoiMust(t, tab.Rows[1][4])
+	if on > off {
+		t.Fatalf("deputies increased gadget degree: %d > %d", on, off)
+	}
+}
+
+func TestA2BucketWidthSmall(t *testing.T) {
+	tab, err := A2BucketWidth(Small, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// Wider buckets cannot need more rebuilds.
+	prev := 1 << 30
+	for _, row := range tab.Rows {
+		r := atoiMust(t, row[3])
+		if r > prev {
+			t.Fatalf("rebuilds increased with wider mu: %v", tab.Rows)
+		}
+		prev = r
+	}
+}
+
+func TestA3CertificationSmall(t *testing.T) {
+	tab, err := A3Certification(Small, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if atoiMust(t, row[2])+atoiMust(t, row[3]) == 0 {
+			t.Fatalf("no skips at all in row %v", row)
+		}
+	}
+}
+
+func TestAblationsAll(t *testing.T) {
+	tabs, err := Ablations(Small, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatalf("tables = %d, want 3", len(tabs))
+	}
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Header:  []string{"a", "long-header"},
+		Caption: "caption here",
+	}
+	tab.AddRow("1", "2")
+	tab.AddRow("333333", "4")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "long-header", "333333", "caption here"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE1Figure1(t *testing.T) {
+	tab, err := E1Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	// Greedy keeps 15 H-edges; the star is a valid 3-spanner with 9 edges.
+	if tab.Rows[0][3] != "15" {
+		t.Fatalf("greedy H-edges kept = %s, want 15", tab.Rows[0][3])
+	}
+	if tab.Rows[1][1] != "9" || tab.Rows[1][4] != "yes" {
+		t.Fatalf("star row = %v, want 9 edges and a valid spanner", tab.Rows[1])
+	}
+}
+
+func TestE2Small(t *testing.T) {
+	tab, err := E2GeneralGraphs(Small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestE3SmallNoViolations(t *testing.T) {
+	tab, err := E3SelfSpanner(Small, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[4] != "0" {
+			t.Fatalf("Lemma 3 violations in row %v", row)
+		}
+	}
+}
+
+func TestE4Small(t *testing.T) {
+	tab, err := E4DoublingLightness(Small, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+}
+
+func TestE5Small(t *testing.T) {
+	tab, err := E5ApproxGreedy(Small, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 sizes x 2 algos)", len(tab.Rows))
+	}
+}
+
+func TestE6SmallGreedyWins(t *testing.T) {
+	tab, err := E6Comparison(Small, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within each (n, t) block, the greedy row must have the fewest edges.
+	// Rows come in blocks of 6 constructions; greedy is first.
+	const block = 6
+	if len(tab.Rows)%block != 0 {
+		t.Fatalf("unexpected row count %d", len(tab.Rows))
+	}
+	for b := 0; b < len(tab.Rows); b += block {
+		greedyEdges := atoiMust(t, tab.Rows[b][3])
+		for r := b + 1; r < b+block; r++ {
+			if other := atoiMust(t, tab.Rows[r][3]); other < greedyEdges {
+				t.Fatalf("construction %s beat greedy on edges: %d < %d",
+					tab.Rows[r][2], other, greedyEdges)
+			}
+		}
+	}
+}
+
+func atoiMust(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("atoi(%q): %v", s, err)
+	}
+	return v
+}
+
+func parseFloatMust(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parseFloat(%q): %v", s, err)
+	}
+	return v
+}
+
+func TestE7Small(t *testing.T) {
+	tab, err := E7MSTContainment(Small, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[3] != "yes" || row[4] != "yes" {
+			t.Fatalf("MST property failed: %v", row)
+		}
+	}
+}
+
+func TestE8Small(t *testing.T) {
+	tab, err := E8LogStretch(Small, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		light := parseFloatMust(t, row[5])
+		target := parseFloatMust(t, row[6])
+		if light > target+1e-9 {
+			t.Fatalf("Corollary 5 violated: lightness %v > 1+delta %v (row %v)", light, target, row)
+		}
+	}
+}
+
+func TestE9Small(t *testing.T) {
+	tab, err := E9UnboundedDegree(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	// Hub degree grows between the two configurations.
+	d0 := atoiMust(t, tab.Rows[0][4])
+	d1 := atoiMust(t, tab.Rows[1][4])
+	if d1 <= d0 {
+		t.Fatalf("hub degree did not grow: %d -> %d", d0, d1)
+	}
+}
+
+func TestE10Small(t *testing.T) {
+	tab, err := E10Lemma11(Small, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[4] != "0" {
+			t.Fatalf("Lemma 11 audit violations: %v", row)
+		}
+	}
+}
+
+func TestAllSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in non-short mode only")
+	}
+	tabs, err := All(Small, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 12 {
+		t.Fatalf("tables = %d, want 12", len(tabs))
+	}
+}

@@ -1,0 +1,43 @@
+package bench
+
+import "testing"
+
+func TestE11FaultToleranceSmall(t *testing.T) {
+	tab, err := E11FaultTolerance(Small, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (f = 0, 1, 2)", len(tab.Rows))
+	}
+	prevEdges := -1
+	for _, row := range tab.Rows {
+		if row[6] != "yes" {
+			t.Fatalf("fault-tolerance audit failed: %v", row)
+		}
+		e := atoiMust(t, row[3])
+		if e < prevEdges {
+			t.Fatalf("edges decreased with larger f: %v", tab.Rows)
+		}
+		prevEdges = e
+	}
+	// f = 1 requires min degree >= 2.
+	if atoiMust(t, tab.Rows[1][5]) < 2 {
+		t.Fatalf("1-FT spanner has min degree < 2: %v", tab.Rows[1])
+	}
+}
+
+func TestE12GraphFamiliesSmall(t *testing.T) {
+	tab, err := E12GraphFamilies(Small, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (4 families x 2 stretches)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[6] != "yes" {
+			t.Fatalf("Lemma 3 failed on %v", row)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package cluster implements the cluster-graph machinery of the
+// approximate-greedy algorithm (Das–Narasimhan [DN97], Gudmundsson et al.
+// [GLN02], Section 5 of the paper). A cluster graph coarsens the partial
+// spanner H at a radius r: vertices are grouped into clusters of H-radius
+// at most r around net centers, and inter-cluster H-edges become cluster
+// edges. Distance queries on the cluster graph sandwich true spanner
+// distances:
+//
+//	cgDist(u, v) <= delta_H(u, v) <= cgDist(u, v) + 2r * (hops + 1)
+//
+// where hops is the number of cluster edges on the cluster-graph path. The
+// approximate-greedy main loop uses the upper bound to certify skips
+// (keeping the final stretch sound) and adds the edge otherwise.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// Graph is a clustered view of a spanner at a fixed radius.
+type Graph struct {
+	// Radius is the clustering radius r.
+	Radius float64
+	// Center[v] is the cluster id of vertex v.
+	Center []int
+	// Centers[c] is the representative vertex of cluster c.
+	Centers []int
+	// cg is the cluster graph: vertices are cluster ids; each inter-cluster
+	// spanner edge (x, y) contributes an edge between the clusters of x and
+	// y with weight w(x, y).
+	cg *graph.Graph
+	// Query scratch, reused across calls (a Graph is not safe for
+	// concurrent queries).
+	dist    []float64
+	touched []int32
+	heap    *pq.IndexedMinHeap
+}
+
+// Build clusters the spanner h at radius r. Clusters are grown from centers
+// in vertex order: the first unassigned vertex becomes a center and absorbs
+// every unassigned vertex within H-distance r (bounded Dijkstra). Every
+// vertex lands in exactly one cluster whose H-radius is at most r.
+func Build(h *graph.Graph, r float64) (*Graph, error) {
+	if r < 0 || math.IsNaN(r) {
+		return nil, fmt.Errorf("cluster: invalid radius %v", r)
+	}
+	n := h.N()
+	center := make([]int, n)
+	for v := range center {
+		center[v] = -1
+	}
+	var centers []int
+	search := graph.NewSearcher(n)
+	dist := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if center[v] >= 0 {
+			continue
+		}
+		c := len(centers)
+		centers = append(centers, v)
+		// Absorb unassigned vertices within H-distance r of v.
+		search.BoundedDistances(h, v, r, dist)
+		for u := 0; u < n; u++ {
+			if center[u] < 0 && dist[u] <= r {
+				center[u] = c
+			}
+		}
+	}
+	cg := graph.New(len(centers))
+	for _, e := range h.Edges() {
+		cu, cv := center[e.U], center[e.V]
+		if cu != cv {
+			cg.MustAddEdge(cu, cv, e.W)
+		}
+	}
+	g := &Graph{Radius: r, Center: center, Centers: centers, cg: cg}
+	g.dist = make([]float64, len(centers))
+	for i := range g.dist {
+		g.dist[i] = math.Inf(1)
+	}
+	g.heap = pq.NewIndexedMinHeap(len(centers))
+	return g, nil
+}
+
+// Clusters reports the number of clusters.
+func (g *Graph) Clusters() int { return len(g.Centers) }
+
+// AddEdge inserts a new spanner edge (u, v, w) into the clustered view,
+// connecting the clusters of u and v. Intra-cluster insertions are no-ops
+// (the cluster already spans both endpoints within 2r).
+func (g *Graph) AddEdge(u, v int, w float64) {
+	cu, cv := g.Center[u], g.Center[v]
+	if cu != cv {
+		g.cg.MustAddEdge(cu, cv, w)
+	}
+}
+
+// Query estimates delta_H(u, v), returning a lower and an upper bound.
+// The lower bound is the weight-only cluster-graph distance (dropping
+// intra-cluster travel can only shorten paths); the upper bound is the
+// realizable-cost distance of UpperBound. For vertices in the same cluster
+// the bounds are (0, 2r).
+func (g *Graph) Query(u, v int) (lower, upper float64) {
+	cu, cv := g.Center[u], g.Center[v]
+	if cu == cv {
+		return 0, 2 * g.Radius
+	}
+	lower = g.dijkstra(cu, cv, math.Inf(1), 0)
+	up, ok := g.UpperBound(u, v, math.Inf(1))
+	if !ok {
+		upper = math.Inf(1)
+	} else {
+		upper = up
+	}
+	return lower, upper
+}
+
+// UpperBound returns a certified upper bound on delta_H(u, v): the minimum,
+// over cluster-graph paths, of the realizable cost sum(w_i + 2r) + 2r —
+// each hop pays its inter-cluster edge plus a worst-case center detour, and
+// the final 2r covers reaching u's center and leaving v's center. Crucially
+// the Dijkstra minimizes this realizable cost directly (not the edge-weight
+// sum), which is what makes the certificate tight on paths made of many
+// short edges. The search abandons once costs exceed limit; ok reports
+// whether a bound <= limit was found.
+func (g *Graph) UpperBound(u, v int, limit float64) (bound float64, ok bool) {
+	cu, cv := g.Center[u], g.Center[v]
+	if cu == cv {
+		b := 2 * g.Radius
+		return b, b <= limit
+	}
+	d := g.dijkstra(cu, cv, limit, 2*g.Radius)
+	if math.IsInf(d, 1) {
+		return math.Inf(1), false
+	}
+	b := d + 2*g.Radius
+	return b, b <= limit
+}
+
+// dijkstra runs Dijkstra on the cluster graph from src to dst where each
+// edge of weight w costs w + hopCost, abandoning paths beyond limit. The
+// scratch buffers are reset before returning.
+func (g *Graph) dijkstra(src, dst int, limit, hopCost float64) float64 {
+	result := math.Inf(1)
+	g.dist[src] = 0
+	g.touched = append(g.touched[:0], int32(src))
+	g.heap.Push(src, 0)
+	for g.heap.Len() > 0 {
+		x, dx := g.heap.Pop()
+		if x == dst {
+			result = dx
+			break
+		}
+		g.cg.Neighbors(x, func(to int, w float64) bool {
+			nd := dx + w + hopCost
+			if nd <= limit && nd < g.dist[to] {
+				if math.IsInf(g.dist[to], 1) {
+					g.touched = append(g.touched, int32(to))
+				}
+				g.dist[to] = nd
+				g.heap.Push(to, nd)
+			}
+			return true
+		})
+	}
+	for _, v := range g.touched {
+		g.dist[v] = math.Inf(1)
+	}
+	g.heap.Reset()
+	return result
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestBuildClustersPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := gen.ErdosRenyi(rng, 50, 0.15, 0.5, 5)
+	cg, err := Build(h, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Clusters() == 0 {
+		t.Fatal("no clusters")
+	}
+	// Every vertex assigned; member within radius of its center (in H).
+	for v := 0; v < h.N(); v++ {
+		c := cg.Center[v]
+		if c < 0 || c >= cg.Clusters() {
+			t.Fatalf("vertex %d unassigned", v)
+		}
+		d := h.DijkstraTo(cg.Centers[c], v)
+		if d > cg.Radius+1e-9 {
+			t.Fatalf("vertex %d at H-distance %v > radius %v from center", v, d, cg.Radius)
+		}
+	}
+	// Centers are their own cluster representatives.
+	for ci, c := range cg.Centers {
+		if cg.Center[c] != ci {
+			t.Fatalf("center %d not in its own cluster", c)
+		}
+	}
+}
+
+func TestBuildRadiusZero(t *testing.T) {
+	h := gen.Grid(3, 3)
+	cg, err := Build(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Clusters() != 9 {
+		t.Fatalf("radius 0: %d clusters, want 9 singletons", cg.Clusters())
+	}
+}
+
+func TestBuildRejectsInvalidRadius(t *testing.T) {
+	h := gen.Grid(2, 2)
+	if _, err := Build(h, -1); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+	if _, err := Build(h, math.NaN()); err == nil {
+		t.Fatal("NaN radius accepted")
+	}
+}
+
+func TestQueryBoundsSandwichTrueDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		h := gen.ErdosRenyi(rng, 40, 0.2, 0.5, 5)
+		for _, r := range []float64{0.5, 1, 3} {
+			cg, err := Build(h, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for q := 0; q < 50; q++ {
+				u, v := rng.Intn(40), rng.Intn(40)
+				if u == v {
+					continue
+				}
+				lo, hi := cg.Query(u, v)
+				d := h.DijkstraTo(u, v)
+				if lo > d+1e-9 {
+					t.Fatalf("r=%v: lower bound %v exceeds true distance %v", r, lo, d)
+				}
+				if hi < d-1e-9 {
+					t.Fatalf("r=%v: upper bound %v below true distance %v", r, hi, d)
+				}
+			}
+		}
+	}
+}
+
+func TestQuerySameCluster(t *testing.T) {
+	h := gen.Grid(3, 3)
+	cg, err := Build(h, 100) // everything one cluster
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Clusters() != 1 {
+		t.Fatalf("clusters = %d, want 1", cg.Clusters())
+	}
+	lo, hi := cg.Query(0, 8)
+	if lo != 0 || hi != 200 {
+		t.Fatalf("Query = (%v, %v), want (0, 200)", lo, hi)
+	}
+}
+
+func TestUpperBoundGivesUp(t *testing.T) {
+	// Path graph with distant endpoints: a small limit must report not-ok.
+	h := graph.New(10)
+	for i := 0; i+1 < 10; i++ {
+		h.MustAddEdge(i, i+1, 1)
+	}
+	cg, err := Build(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := cg.UpperBound(0, 9, 3); ok {
+		t.Fatalf("UpperBound = (%v, ok) under a tight limit", b)
+	}
+	b, ok := cg.UpperBound(0, 9, 100)
+	if !ok || b != 9 {
+		t.Fatalf("UpperBound with slack limit = (%v, %v), want (9, true)", b, ok)
+	}
+}
+
+func TestUpperBoundIsRealizable(t *testing.T) {
+	// The certified upper bound must never fall below the true spanner
+	// distance, at any cluster radius.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		h := gen.ErdosRenyi(rng, 35, 0.2, 0.5, 5)
+		for _, r := range []float64{0.25, 1, 4} {
+			cg, err := Build(h, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for q := 0; q < 40; q++ {
+				u, v := rng.Intn(35), rng.Intn(35)
+				if u == v {
+					continue
+				}
+				b, ok := cg.UpperBound(u, v, math.Inf(1))
+				if !ok {
+					continue
+				}
+				if d := h.DijkstraTo(u, v); b < d-1e-9 {
+					t.Fatalf("r=%v: upper bound %v below true distance %v", r, b, d)
+				}
+			}
+		}
+	}
+}
+
+func TestAddEdgeUpdatesQueries(t *testing.T) {
+	// Two far apart cliques; adding a bridge must slash the estimate.
+	h := graph.New(6)
+	h.MustAddEdge(0, 1, 1)
+	h.MustAddEdge(1, 2, 1)
+	h.MustAddEdge(3, 4, 1)
+	h.MustAddEdge(4, 5, 1)
+	h.MustAddEdge(2, 3, 100) // weak long bridge
+	cg, err := Build(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loBefore, _ := cg.Query(0, 5)
+	// Simulate the spanner gaining a direct edge 0-5 of weight 5.
+	cg.AddEdge(0, 5, 5)
+	loAfter, _ := cg.Query(0, 5)
+	if loAfter > loBefore {
+		t.Fatalf("lower bound grew after AddEdge: %v -> %v", loBefore, loAfter)
+	}
+	if loAfter > 5 {
+		t.Fatalf("lower bound %v after adding weight-5 edge", loAfter)
+	}
+	// Intra-cluster AddEdge is a no-op and must not panic.
+	cg.AddEdge(0, 1, 0.5)
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/metric"
+	"repro/internal/verify"
+)
+
+func TestFaultTolerantGreedyValidation(t *testing.T) {
+	m := metric.MustEuclidean([][]float64{{0, 0}, {1, 1}})
+	if _, err := FaultTolerantGreedy(m, 0.5, 1); err == nil {
+		t.Fatal("bad stretch accepted")
+	}
+	if _, err := FaultTolerantGreedy(m, 2, -1); err == nil {
+		t.Fatal("negative f accepted")
+	}
+	if _, err := FaultTolerantGreedy(m, 2, 3); err == nil {
+		t.Fatal("unsupported f accepted")
+	}
+}
+
+func TestFaultTolerantZeroFaultsEqualsGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	m := metric.MustEuclidean(gen.UniformPoints(rng, 20, 2))
+	a, err := FaultTolerantGreedy(m, 1.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GreedyMetric(m, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("f=0 differs from greedy: %d vs %d edges", len(a.Edges), len(b.Edges))
+	}
+}
+
+func TestFaultTolerantOneFaultSurvives(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	m := metric.MustEuclidean(gen.UniformPoints(rng, 16, 2))
+	const tt = 1.8
+	res, err := FaultTolerantGreedy(m, tt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Graph()
+	if err := VerifyFaultTolerance(h, m, tt, 1, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// The FT spanner is also a plain spanner (F = {} is a fault set).
+	if _, err := verify.MetricSpanner(h, m, tt, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultTolerantTwoFaultsSurvive(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	m := metric.MustEuclidean(gen.UniformPoints(rng, 10, 2))
+	const tt = 2.0
+	res, err := FaultTolerantGreedy(m, tt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFaultTolerance(res.Graph(), m, tt, 2, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultToleranceCostsEdges(t *testing.T) {
+	// More fault tolerance cannot mean fewer edges: every f-FT spanner's
+	// requirement set contains the (f-1)-FT requirements.
+	rng := rand.New(rand.NewSource(73))
+	m := metric.MustEuclidean(gen.UniformPoints(rng, 14, 2))
+	const tt = 1.6
+	prev := -1
+	for f := 0; f <= 2; f++ {
+		res, err := FaultTolerantGreedy(m, tt, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Size() < prev {
+			t.Fatalf("f=%d spanner smaller than f=%d one: %d < %d", f, f-1, res.Size(), prev)
+		}
+		prev = res.Size()
+	}
+}
+
+func TestFaultTolerantMinDegree(t *testing.T) {
+	// In a 1-FT spanner every vertex needs degree >= 2 (a degree-1 vertex
+	// is disconnected by its only neighbor's failure)... except in trivial
+	// 2-point metrics. Check on a real instance.
+	rng := rand.New(rand.NewSource(74))
+	m := metric.MustEuclidean(gen.UniformPoints(rng, 12, 2))
+	res, err := FaultTolerantGreedy(m, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Graph()
+	for v := 0; v < h.N(); v++ {
+		if h.Degree(v) < 2 {
+			t.Fatalf("vertex %d has degree %d in a 1-FT spanner", v, h.Degree(v))
+		}
+	}
+}
+
+func TestVerifyFaultToleranceDetectsFragileSpanner(t *testing.T) {
+	// A path spanner of collinear points dies with any interior failure.
+	pts := [][]float64{{0}, {1}, {2}, {3}}
+	m := metric.MustEuclidean(pts)
+	res, err := GreedyMetric(m, 1.1) // the path 0-1-2-3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFaultTolerance(res.Graph(), m, 1.1, 1, 1e-9); err == nil {
+		t.Fatal("fragile path passed 1-FT verification")
+	}
+	if err := VerifyFaultTolerance(res.Graph(), m, 1.1, 5, 1e-9); err == nil {
+		t.Fatal("unsupported f accepted by verifier")
+	}
+}

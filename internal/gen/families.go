@@ -1,0 +1,108 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Hypercube returns the d-dimensional hypercube graph Q_d (2^d vertices,
+// d*2^{d-1} unit edges): a classical network-synchronizer topology from the
+// paper's distributed-computing motivation ([PU89a] is about hypercube
+// synchronizers).
+func Hypercube(d int) *graph.Graph {
+	if d < 1 || d > 20 {
+		panic(fmt.Sprintf("gen: hypercube dimension %d out of range [1, 20]", d))
+	}
+	n := 1 << d
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			u := v ^ (1 << b)
+			if v < u {
+				g.MustAddEdge(v, u, 1)
+			}
+		}
+	}
+	return g
+}
+
+// Circulant returns the circulant graph C_n(S): vertices 0..n-1 with unit
+// edges i -- (i+s) mod n for each step s in S. Circulants provide
+// vertex-transitive instances with tunable girth and degree.
+func Circulant(n int, steps []int) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: circulant needs n >= 3, got %d", n)
+	}
+	g := graph.New(n)
+	seen := make(map[int]bool)
+	for _, s := range steps {
+		s = ((s % n) + n) % n
+		if s == 0 || seen[s] || seen[n-s] {
+			continue
+		}
+		seen[s] = true
+		for i := 0; i < n; i++ {
+			j := (i + s) % n
+			if !g.HasEdge(i, j) {
+				g.MustAddEdge(i, j, 1)
+			}
+		}
+	}
+	if g.M() == 0 {
+		return nil, fmt.Errorf("gen: circulant steps %v produce no edges", steps)
+	}
+	return g, nil
+}
+
+// RandomRegular samples a d-regular graph on n vertices via the
+// configuration model with rejection of self-loops and multi-edges,
+// restarting until a simple matching is found. Requires n*d even and
+// d < n. Random regular graphs are expanders with high probability —
+// near-worst-case instances for spanner sparsification.
+func RandomRegular(rng *rand.Rand, n, d int) (*graph.Graph, error) {
+	if d < 1 || d >= n {
+		return nil, fmt.Errorf("gen: degree %d out of range [1, %d)", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("gen: n*d must be even, got %d*%d", n, d)
+	}
+	const maxRestarts = 500
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		// Stubs: d copies of each vertex, shuffled and paired up.
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for k := 0; k < d; k++ {
+				stubs = append(stubs, v)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		g := graph.New(n)
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v || g.HasEdge(u, v) {
+				ok = false
+				break
+			}
+			g.MustAddEdge(u, v, 1)
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: failed to sample a simple %d-regular graph on %d vertices", d, n)
+}
+
+// WeightedPerturbation returns a copy of g with each edge weight multiplied
+// by an independent uniform factor in [1, 1+jitter]. Used to break weight
+// ties so the greedy spanner is unique and instances are in general
+// position.
+func WeightedPerturbation(rng *rand.Rand, g *graph.Graph, jitter float64) *graph.Graph {
+	out := graph.New(g.N())
+	for _, e := range g.Edges() {
+		out.MustAddEdge(e.U, e.V, e.W*(1+rng.Float64()*jitter))
+	}
+	return out
+}

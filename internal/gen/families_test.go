@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHypercube(t *testing.T) {
+	q3 := Hypercube(3)
+	if q3.N() != 8 || q3.M() != 12 {
+		t.Fatalf("Q3: N=%d M=%d, want 8, 12", q3.N(), q3.M())
+	}
+	for v := 0; v < 8; v++ {
+		if q3.Degree(v) != 3 {
+			t.Fatalf("Q3 degree(%d) = %d", v, q3.Degree(v))
+		}
+	}
+	if !q3.Connected() {
+		t.Fatal("Q3 disconnected")
+	}
+	if g := q3.GirthUnweighted(); g != 4 {
+		t.Fatalf("Q3 girth = %d, want 4", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Hypercube(0) should panic")
+		}
+	}()
+	Hypercube(0)
+}
+
+func TestCirculant(t *testing.T) {
+	// C_8(1, 2): degree 4, connected.
+	g, err := Circulant(8, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 8 || g.M() != 16 {
+		t.Fatalf("C8(1,2): N=%d M=%d, want 8, 16", g.N(), g.M())
+	}
+	for v := 0; v < 8; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	// Duplicate / zero / mirror steps collapse.
+	g2, err := Circulant(6, []int{2, 2, 4, 0, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != 6 {
+		t.Fatalf("C6(2): M=%d, want 6", g2.M())
+	}
+	if _, err := Circulant(2, []int{1}); err == nil {
+		t.Fatal("n=2 accepted")
+	}
+	if _, err := Circulant(6, []int{0, 6}); err == nil {
+		t.Fatal("edgeless steps accepted")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range [][2]int{{20, 3}, {30, 4}, {16, 5}} {
+		n, d := cfg[0], cfg[1]
+		if n*d%2 != 0 {
+			continue
+		}
+		g, err := RandomRegular(rng, n, d)
+		if err != nil {
+			t.Fatalf("(%d, %d): %v", n, d, err)
+		}
+		for v := 0; v < n; v++ {
+			if g.Degree(v) != d {
+				t.Fatalf("(%d, %d): degree(%d) = %d", n, d, v, g.Degree(v))
+			}
+		}
+	}
+	if _, err := RandomRegular(rng, 9, 3); err == nil {
+		t.Fatal("odd n*d accepted")
+	}
+	if _, err := RandomRegular(rng, 5, 5); err == nil {
+		t.Fatal("d >= n accepted")
+	}
+}
+
+func TestWeightedPerturbation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := Grid(4, 4)
+	p := WeightedPerturbation(rng, g, 0.1)
+	if p.M() != g.M() || p.N() != g.N() {
+		t.Fatal("structure changed")
+	}
+	for i, e := range p.Edges() {
+		orig := g.Edges()[i]
+		if e.W < orig.W || e.W > orig.W*1.1 {
+			t.Fatalf("edge %d weight %v outside [%v, %v]", i, e.W, orig.W, orig.W*1.1)
+		}
+	}
+	// Perturbed weights should be pairwise distinct with overwhelming
+	// probability.
+	seen := map[float64]bool{}
+	for _, e := range p.Edges() {
+		if seen[e.W] {
+			t.Fatal("tie survived perturbation")
+		}
+		seen[e.W] = true
+	}
+}

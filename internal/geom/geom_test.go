@@ -1,0 +1,173 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randPts(rng *rand.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for k := range p {
+			p[k] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestRect(t *testing.T) {
+	r := NewRect([]float64{1, 2})
+	r.Extend([]float64{3, 0})
+	if r.Lo[0] != 1 || r.Lo[1] != 0 || r.Hi[0] != 3 || r.Hi[1] != 2 {
+		t.Fatalf("rect = %+v", r)
+	}
+	dim, l := r.LongestSide()
+	if dim != 0 || l != 2 {
+		t.Fatalf("LongestSide = (%d, %v), want (0, 2)", dim, l)
+	}
+	if d := r.Diameter(); math.Abs(d-math.Sqrt(8)) > 1e-12 {
+		t.Fatalf("Diameter = %v", d)
+	}
+	c := r.Center()
+	if c[0] != 2 || c[1] != 1 {
+		t.Fatalf("Center = %v", c)
+	}
+}
+
+func TestDist(t *testing.T) {
+	if d := Dist([]float64{0, 0}, []float64{3, 4}); d != 5 {
+		t.Fatalf("Dist = %v, want 5", d)
+	}
+}
+
+func TestBuildSplitTreeValidation(t *testing.T) {
+	if _, err := BuildSplitTree(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := BuildSplitTree([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("mixed dims accepted")
+	}
+	if _, err := BuildSplitTree([][]float64{{1, 2}, {1, 2}}); err == nil {
+		t.Fatal("duplicate points accepted")
+	}
+}
+
+func TestSplitTreeStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randPts(rng, 50, 2)
+	tree, err := BuildSplitTree(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A binary tree over n leaves has 2n-1 nodes.
+	if tree.Nodes() != 2*50-1 {
+		t.Fatalf("nodes = %d, want 99", tree.Nodes())
+	}
+	// Every leaf holds one point; collect and check coverage.
+	seen := make(map[int]bool)
+	var walk func(n *SplitNode)
+	walk = func(n *SplitNode) {
+		if n.IsLeaf() {
+			if len(n.Idx) != 1 {
+				t.Fatalf("leaf holds %d points", len(n.Idx))
+			}
+			seen[n.Idx[0]] = true
+			return
+		}
+		if len(n.Left.Idx)+len(n.Right.Idx) != len(n.Idx) {
+			t.Fatal("children do not partition parent")
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(tree.Root)
+	if len(seen) != 50 {
+		t.Fatalf("leaves cover %d points, want 50", len(seen))
+	}
+}
+
+func TestWSPDCoversAllPairsExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randPts(rng, 40, 2)
+	tree, err := BuildSplitTree(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []float64{0.5, 1, 2} {
+		pairs := tree.WSPD(s)
+		count := make(map[[2]int]int)
+		for _, pr := range pairs {
+			for _, a := range pr.A.Idx {
+				for _, b := range pr.B.Idx {
+					key := [2]int{a, b}
+					if a > b {
+						key = [2]int{b, a}
+					}
+					count[key]++
+				}
+			}
+		}
+		want := 40 * 39 / 2
+		if len(count) != want {
+			t.Fatalf("s=%v: %d distinct pairs covered, want %d", s, len(count), want)
+		}
+		for k, c := range count {
+			if c != 1 {
+				t.Fatalf("s=%v: pair %v covered %d times", s, k, c)
+			}
+		}
+	}
+}
+
+func TestWSPDSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randPts(rng, 30, 2)
+	tree, err := BuildSplitTree(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 2.0
+	for _, pr := range tree.WSPD(s) {
+		r := math.Max(pr.A.Box.Diameter(), pr.B.Box.Diameter())
+		for _, a := range pr.A.Idx {
+			for _, b := range pr.B.Idx {
+				if d := Dist(pts[a], pts[b]); d < s*r-1e-9 {
+					t.Fatalf("pair not %v-separated: d=%v, r=%v", s, d, r)
+				}
+			}
+		}
+	}
+}
+
+func TestWSPDHigherDimensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randPts(rng, 25, 4)
+	tree, err := BuildSplitTree(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := tree.WSPD(1.5)
+	covered := 0
+	for _, pr := range pairs {
+		covered += len(pr.A.Idx) * len(pr.B.Idx)
+	}
+	if covered != 25*24/2 {
+		t.Fatalf("covered %d ordered pairs, want %d", covered, 25*24/2)
+	}
+}
+
+func TestSplitTreeSinglePoint(t *testing.T) {
+	tree, err := BuildSplitTree([][]float64{{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root.IsLeaf() {
+		t.Fatal("single point tree should be a leaf")
+	}
+	if pairs := tree.WSPD(2); len(pairs) != 0 {
+		t.Fatalf("WSPD of single point = %d pairs, want 0", len(pairs))
+	}
+}

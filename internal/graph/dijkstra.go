@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"repro/internal/pq"
+)
+
+// ShortestPaths holds the result of a single-source shortest-path run.
+type ShortestPaths struct {
+	Source int
+	// Dist[v] is the shortest-path distance from Source to v (Inf if
+	// unreachable).
+	Dist []float64
+	// Parent[v] is the predecessor of v on a shortest path from Source, or
+	// -1 for the source and unreachable vertices.
+	Parent []int32
+}
+
+// PathTo reconstructs the shortest path from the source to v as a vertex
+// sequence, or nil if v is unreachable.
+func (sp *ShortestPaths) PathTo(v int) []int {
+	if sp.Dist[v] == Inf {
+		return nil
+	}
+	var rev []int
+	for u := v; u != -1; u = int(sp.Parent[u]) {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Dijkstra computes single-source shortest paths from src using an indexed
+// binary heap. Time O((m + n) log n).
+func (g *Graph) Dijkstra(src int) *ShortestPaths {
+	return g.dijkstra(src, -1, Inf, nil)
+}
+
+// DijkstraTo computes the shortest-path distance from src to dst, stopping
+// as soon as dst is settled. Returns Inf if dst is unreachable.
+func (g *Graph) DijkstraTo(src, dst int) float64 {
+	sp := g.dijkstra(src, dst, Inf, nil)
+	return sp.Dist[dst]
+}
+
+// DijkstraBounded computes shortest paths from src but abandons any vertex
+// whose tentative distance exceeds limit. Distances in the result that
+// exceed limit are unreliable and reported as Inf. This is the workhorse of
+// the greedy spanner: to decide whether delta_H(u, v) > t*w(u, v) we run a
+// bounded search with limit t*w and never explore further than necessary.
+func (g *Graph) DijkstraBounded(src int, limit float64) *ShortestPaths {
+	return g.dijkstra(src, -1, limit, nil)
+}
+
+// DistanceWithin reports the shortest-path distance from src to dst if it is
+// at most limit, and (Inf, false) otherwise. It settles only vertices within
+// distance limit of src, so the cost scales with the size of that ball.
+func (g *Graph) DistanceWithin(src, dst int, limit float64) (float64, bool) {
+	if src == dst {
+		return 0, true
+	}
+	sp := g.dijkstra(src, dst, limit, nil)
+	d := sp.Dist[dst]
+	if d <= limit {
+		return d, true
+	}
+	return Inf, false
+}
+
+// dijkstraScratch holds reusable buffers for repeated Dijkstra runs over the
+// same graph, avoiding per-call allocation in the greedy main loop.
+type dijkstraScratch struct {
+	heap    *pq.IndexedMinHeap
+	dist    []float64
+	parent  []int32
+	touched []int32
+}
+
+func newDijkstraScratch(n int) *dijkstraScratch {
+	s := &dijkstraScratch{
+		heap:   pq.NewIndexedMinHeap(n),
+		dist:   make([]float64, n),
+		parent: make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		s.dist[i] = Inf
+		s.parent[i] = -1
+	}
+	return s
+}
+
+// reset restores the touched entries to their pristine state.
+func (s *dijkstraScratch) reset() {
+	for _, v := range s.touched {
+		s.dist[v] = Inf
+		s.parent[v] = -1
+	}
+	s.touched = s.touched[:0]
+	s.heap.Reset()
+}
+
+// dijkstra runs the search from src. If dst >= 0 the search stops once dst
+// is settled. Vertices with tentative distance > limit are not enqueued.
+// If scratch is non-nil its buffers are used (and left dirty; caller resets).
+func (g *Graph) dijkstra(src, dst int, limit float64, scratch *dijkstraScratch) *ShortestPaths {
+	n := g.N()
+	var s *dijkstraScratch
+	if scratch != nil {
+		s = scratch
+	} else {
+		s = newDijkstraScratch(n)
+	}
+	s.dist[src] = 0
+	s.touched = append(s.touched, int32(src))
+	s.heap.Push(src, 0)
+	for s.heap.Len() > 0 {
+		u, du := s.heap.Pop()
+		if du > s.dist[u] {
+			continue // stale entry (cannot happen with indexed heap, kept for safety)
+		}
+		if u == dst {
+			break
+		}
+		for _, h := range g.adj[u] {
+			v := int(h.to)
+			nd := du + h.w
+			if nd > limit {
+				continue
+			}
+			if nd < s.dist[v] {
+				if s.dist[v] == Inf {
+					s.touched = append(s.touched, int32(v))
+				}
+				s.dist[v] = nd
+				s.parent[v] = int32(u)
+				s.heap.Push(v, nd)
+			}
+		}
+	}
+	if scratch != nil {
+		// Caller owns the buffers; hand back views without copying.
+		return &ShortestPaths{Source: src, Dist: s.dist, Parent: s.parent}
+	}
+	return &ShortestPaths{Source: src, Dist: s.dist, Parent: s.parent}
+}
+
+// APSP computes all-pairs shortest-path distances by running Dijkstra from
+// every vertex. The result is an n x n matrix; row i holds distances from i.
+// Time O(n (m + n) log n); intended for the metric-space constructions where
+// n is moderate.
+func (g *Graph) APSP() [][]float64 {
+	n := g.N()
+	out := make([][]float64, n)
+	scratch := newDijkstraScratch(n)
+	for i := 0; i < n; i++ {
+		g.dijkstra(i, -1, Inf, scratch)
+		row := make([]float64, n)
+		copy(row, scratch.dist)
+		out[i] = row
+		scratch.reset()
+	}
+	return out
+}
+
+// Eccentricity returns the maximum finite shortest-path distance from v, and
+// whether all vertices are reachable from v.
+func (g *Graph) Eccentricity(v int) (float64, bool) {
+	sp := g.Dijkstra(v)
+	ecc, all := 0.0, true
+	for _, d := range sp.Dist {
+		if d == Inf {
+			all = false
+			continue
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, all
+}

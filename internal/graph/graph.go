@@ -1,0 +1,287 @@
+// Package graph implements the weighted undirected graph substrate used by
+// every spanner construction in this repository: adjacency-list graphs,
+// Dijkstra variants (full, distance-bounded, target-pruned), breadth-first
+// search, minimum spanning trees (Kruskal and Prim), a union-find structure,
+// girth computation, second-shortest paths, and all-pairs shortest paths.
+//
+// Vertices are dense integers in [0, N()). Edge weights are positive
+// float64s; all algorithms assume positive weights (shortest paths are
+// well-defined and Dijkstra applies).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Inf is the distance reported for unreachable vertex pairs.
+var Inf = math.Inf(1)
+
+// Edge is an undirected weighted edge. U < V is not required but the
+// convention U <= V is maintained by Graph.AddEdge for canonical storage.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Canonical returns e with endpoints ordered so that U <= V.
+func (e Edge) Canonical() Edge {
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	return e
+}
+
+// half is one direction of an undirected edge in an adjacency list.
+type half struct {
+	to int32
+	w  float64
+}
+
+// Graph is a weighted undirected multigraph with dense integer vertices.
+// The zero value is an empty graph with no vertices; construct with New.
+type Graph struct {
+	adj   [][]half
+	edges []Edge
+	wsum  float64
+}
+
+// New returns an empty graph on n vertices (no edges).
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{adj: make([][]half, n)}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.N())
+	c.edges = append(c.edges, g.edges...)
+	for v, hs := range g.adj {
+		c.adj[v] = append([]half(nil), hs...)
+	}
+	c.wsum = g.wsum
+	return c
+}
+
+// N reports the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M reports the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Weight reports the total edge weight of the graph.
+func (g *Graph) Weight() float64 { return g.wsum }
+
+// Edges returns the graph's edge list. The returned slice is owned by the
+// graph and must not be modified by the caller.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// EdgesCopy returns a fresh copy of the edge list safe for mutation.
+func (g *Graph) EdgesCopy() []Edge { return append([]Edge(nil), g.edges...) }
+
+// Degree reports the number of edges incident on v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree reports the maximum vertex degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	best := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// AddEdge inserts the undirected edge (u, v) with weight w. It returns an
+// error if the endpoints are out of range, equal (self-loop), or the weight
+// is not a positive finite number.
+func (g *Graph) AddEdge(u, v int, w float64) error {
+	switch {
+	case u < 0 || u >= g.N() || v < 0 || v >= g.N():
+		return fmt.Errorf("graph: edge (%d, %d) out of range [0, %d)", u, v, g.N())
+	case u == v:
+		return fmt.Errorf("graph: self-loop at vertex %d", u)
+	case !(w > 0) || math.IsInf(w, 0):
+		return fmt.Errorf("graph: edge (%d, %d) has non-positive or non-finite weight %v", u, v, w)
+	}
+	g.addEdgeUnchecked(u, v, w)
+	return nil
+}
+
+// MustAddEdge is AddEdge for statically valid inputs (generators, tests); it
+// panics on invalid input, which indicates a programming error.
+func (g *Graph) MustAddEdge(u, v int, w float64) {
+	if err := g.AddEdge(u, v, w); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) addEdgeUnchecked(u, v int, w float64) {
+	e := Edge{U: u, V: v, W: w}.Canonical()
+	g.edges = append(g.edges, e)
+	g.adj[u] = append(g.adj[u], half{to: int32(v), w: w})
+	g.adj[v] = append(g.adj[v], half{to: int32(u), w: w})
+	g.wsum += w
+}
+
+// HasEdge reports whether at least one edge joins u and v.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+		return false
+	}
+	// Scan the shorter adjacency list.
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	for _, h := range g.adj[u] {
+		if int(h.to) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeWeight returns the minimum weight among edges joining u and v, and
+// whether any such edge exists.
+func (g *Graph) EdgeWeight(u, v int) (float64, bool) {
+	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+		return 0, false
+	}
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	best, found := Inf, false
+	for _, h := range g.adj[u] {
+		if int(h.to) == v && h.w < best {
+			best, found = h.w, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return best, true
+}
+
+// Neighbors calls fn for every half-edge (v, to, w) leaving v. Iteration
+// stops early if fn returns false.
+func (g *Graph) Neighbors(v int, fn func(to int, w float64) bool) {
+	for _, h := range g.adj[v] {
+		if !fn(int(h.to), h.w) {
+			return
+		}
+	}
+}
+
+// Subgraph returns a new graph on the same vertex set containing exactly the
+// given edges. The edges need not belong to g; this is a convenience for
+// assembling spanners over g's vertex set.
+func (g *Graph) Subgraph(edges []Edge) *Graph {
+	s := New(g.N())
+	for _, e := range edges {
+		s.addEdgeUnchecked(e.U, e.V, e.W)
+	}
+	return s
+}
+
+// WithoutEdge returns a copy of g with one occurrence of edge e removed.
+// It returns an error if e does not occur in g.
+func (g *Graph) WithoutEdge(e Edge) (*Graph, error) {
+	e = e.Canonical()
+	out := New(g.N())
+	removed := false
+	for _, f := range g.edges {
+		if !removed && f == e {
+			removed = true
+			continue
+		}
+		out.addEdgeUnchecked(f.U, f.V, f.W)
+	}
+	if !removed {
+		return nil, fmt.Errorf("graph: edge (%d, %d, %v) not present", e.U, e.V, e.W)
+	}
+	return out, nil
+}
+
+// SortedEdges returns the edges in non-decreasing order of weight, breaking
+// ties by (U, V) so that the order is deterministic. The greedy algorithm
+// examines edges in exactly this order.
+func (g *Graph) SortedEdges() []Edge {
+	es := g.EdgesCopy()
+	SortEdges(es)
+	return es
+}
+
+// SortEdges sorts es in non-decreasing order of weight with deterministic
+// (U, V) tie-breaking, in place.
+func SortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+}
+
+// ErrDisconnected is returned by algorithms requiring a connected graph.
+var ErrDisconnected = errors.New("graph: graph is not connected")
+
+// Connected reports whether g is connected (true for n <= 1).
+func (g *Graph) Connected() bool {
+	n := g.N()
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range g.adj[v] {
+			if !seen[h.to] {
+				seen[h.to] = true
+				count++
+				stack = append(stack, int(h.to))
+			}
+		}
+	}
+	return count == n
+}
+
+// Components returns the vertex sets of the connected components of g.
+func (g *Graph) Components() [][]int {
+	n := g.N()
+	seen := make([]bool, n)
+	var comps [][]int
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, h := range g.adj[v] {
+				if !seen[h.to] {
+					seen[h.to] = true
+					stack = append(stack, int(h.to))
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in the plain text edge-list format, one
+// "u v w" line per edge, preceded by a "# n <vertices>" header so that
+// isolated vertices survive a round trip.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# n %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %s\n", e.U, e.V, strconv.FormatFloat(e.W, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Lines starting
+// with '#' are comments, except a leading "# n <count>" header which fixes
+// the vertex count; without a header the count is max id + 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	type rawEdge struct {
+		u, v int
+		w    float64
+	}
+	var (
+		edges  []rawEdge
+		n      = -1
+		maxID  = -1
+		lineNo = 0
+	)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			var cnt int
+			if _, err := fmt.Sscanf(line, "# n %d", &cnt); err == nil && n < 0 {
+				n = cnt
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v w', got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		w, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		edges = append(edges, rawEdge{u, v, w})
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = maxID + 1
+	}
+	if maxID >= n {
+		return nil, fmt.Errorf("graph: vertex id %d exceeds declared count %d", maxID, n)
+	}
+	g := New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e.u, e.v, e.w); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// WriteDOT writes g in Graphviz DOT format with edge weights as labels,
+// for quick visualization of small instances (e.g., the Figure 1 gadget).
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(bw, "graph %s {\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if _, err := fmt.Fprintf(bw, "  %d;\n", v); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.edges {
+		if _, err := fmt.Fprintf(bw, "  %d -- %d [label=\"%.3g\"];\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"sort"
+)
+
+// WeightedPath is a path with its total weight.
+type WeightedPath struct {
+	Vertices []int
+	Weight   float64
+}
+
+// KShortestPaths returns up to k shortest simple (loopless) paths from src
+// to dst in non-decreasing weight order, using Yen's algorithm with
+// Dijkstra as the underlying search. SecondShortestPath is the k = 2
+// special case of this routine; the general form backs the Lemma 11 audits
+// and the fault-tolerance experiments.
+//
+// Complexity O(k * n * Dijkstra) in the worst case. Returns fewer than k
+// paths when src and dst admit fewer simple paths, and nil when dst is
+// unreachable.
+func (g *Graph) KShortestPaths(src, dst, k int) []WeightedPath {
+	if k <= 0 || src == dst {
+		return nil
+	}
+	first := g.Dijkstra(src)
+	base := first.PathTo(dst)
+	if base == nil {
+		return nil
+	}
+	accepted := []WeightedPath{{Vertices: base, Weight: first.Dist[dst]}}
+	// Candidate pool; paths keyed by their vertex sequence to avoid dupes.
+	var candidates []WeightedPath
+	seen := map[string]bool{pathKey(base): true}
+
+	for len(accepted) < k {
+		prev := accepted[len(accepted)-1].Vertices
+		// For each spur vertex on the previous path, forbid the edges used
+		// by already accepted paths sharing the same root, and the root's
+		// interior vertices, then search for a deviation.
+		for i := 0; i+1 < len(prev); i++ {
+			spur := prev[i]
+			root := prev[:i+1]
+			rootW := pathWeight(g, root)
+
+			banned := newEdgeBan()
+			for _, acc := range accepted {
+				if len(acc.Vertices) > i && sameVertices(acc.Vertices[:i+1], root) {
+					banned.add(acc.Vertices[i], acc.Vertices[i+1])
+				}
+			}
+			for _, c := range candidates {
+				if len(c.Vertices) > i && sameVertices(c.Vertices[:i+1], root) {
+					banned.add(c.Vertices[i], c.Vertices[i+1])
+				}
+			}
+			deadVerts := make(map[int]bool, i)
+			for _, v := range root[:i] {
+				deadVerts[v] = true
+			}
+
+			masked := g.maskedCopy(deadVerts, banned)
+			sp := masked.Dijkstra(spur)
+			tail := sp.PathTo(dst)
+			if tail == nil {
+				continue
+			}
+			full := append(append([]int(nil), root[:i]...), tail...)
+			key := pathKey(full)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			candidates = append(candidates, WeightedPath{
+				Vertices: full,
+				Weight:   rootW + sp.Dist[dst],
+			})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if candidates[a].Weight != candidates[b].Weight {
+				return candidates[a].Weight < candidates[b].Weight
+			}
+			return pathKey(candidates[a].Vertices) < pathKey(candidates[b].Vertices)
+		})
+		accepted = append(accepted, candidates[0])
+		candidates = candidates[1:]
+	}
+	return accepted
+}
+
+// edgeBan is a small set of forbidden undirected edges (by endpoints).
+type edgeBan struct{ set map[[2]int]bool }
+
+func newEdgeBan() *edgeBan { return &edgeBan{set: make(map[[2]int]bool)} }
+
+func (b *edgeBan) add(u, v int) {
+	if u > v {
+		u, v = v, u
+	}
+	b.set[[2]int{u, v}] = true
+}
+
+func (b *edgeBan) has(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	return b.set[[2]int{u, v}]
+}
+
+// maskedCopy returns a copy of g without the dead vertices' edges and
+// without banned edges.
+func (g *Graph) maskedCopy(dead map[int]bool, banned *edgeBan) *Graph {
+	out := New(g.N())
+	for _, e := range g.edges {
+		if dead[e.U] || dead[e.V] || banned.has(e.U, e.V) {
+			continue
+		}
+		out.addEdgeUnchecked(e.U, e.V, e.W)
+	}
+	return out
+}
+
+// pathWeight sums the (minimum) edge weights along consecutive vertices.
+func pathWeight(g *Graph, path []int) float64 {
+	var w float64
+	for i := 0; i+1 < len(path); i++ {
+		ew, ok := g.EdgeWeight(path[i], path[i+1])
+		if !ok {
+			return Inf
+		}
+		w += ew
+	}
+	return w
+}
+
+func sameVertices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func pathKey(path []int) string {
+	// Compact deterministic key; paths are short relative to n.
+	buf := make([]byte, 0, len(path)*3)
+	for _, v := range path {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16))
+	}
+	return string(buf)
+}

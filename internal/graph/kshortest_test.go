@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKShortestPathsSmallGraph(t *testing.T) {
+	// 0-1-3 (weight 2), 0-2-3 (weight 3), 0-3 (weight 4).
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 3, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(2, 3, 2)
+	g.MustAddEdge(0, 3, 4)
+	paths := g.KShortestPaths(0, 3, 3)
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+	want := []float64{2, 3, 4}
+	for i, p := range paths {
+		if p.Weight != want[i] {
+			t.Fatalf("path %d weight = %v, want %v (paths: %+v)", i, p.Weight, want[i], paths)
+		}
+	}
+	// First path must be 0-1-3.
+	if !sameVertices(paths[0].Vertices, []int{0, 1, 3}) {
+		t.Fatalf("first path = %v", paths[0].Vertices)
+	}
+}
+
+func TestKShortestPathsSimpleOnly(t *testing.T) {
+	// Triangle: only 2 simple paths between any pair.
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 1)
+	paths := g.KShortestPaths(0, 2, 10)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2 simple paths", len(paths))
+	}
+	for _, p := range paths {
+		seen := map[int]bool{}
+		for _, v := range p.Vertices {
+			if seen[v] {
+				t.Fatalf("path %v revisits vertex %d", p.Vertices, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestKShortestPathsDegenerate(t *testing.T) {
+	g := pathGraph(3)
+	if got := g.KShortestPaths(0, 0, 3); got != nil {
+		t.Fatal("src == dst should give nil")
+	}
+	if got := g.KShortestPaths(0, 2, 0); got != nil {
+		t.Fatal("k = 0 should give nil")
+	}
+	disc := New(3)
+	disc.MustAddEdge(0, 1, 1)
+	if got := disc.KShortestPaths(0, 2, 2); got != nil {
+		t.Fatal("unreachable dst should give nil")
+	}
+}
+
+func TestKShortestSecondMatchesSecondShortestPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnectedGraph(rng, 20, 30)
+		u, v := rng.Intn(20), rng.Intn(20)
+		if u == v {
+			continue
+		}
+		want := g.SecondShortestPath(u, v)
+		paths := g.KShortestPaths(u, v, 2)
+		got := math.Inf(1)
+		if len(paths) >= 2 {
+			got = paths[1].Weight
+		}
+		if math.Abs(got-want) > 1e-9 && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			t.Fatalf("trial %d (%d->%d): k=2 gives %v, SecondShortestPath gives %v", trial, u, v, got, want)
+		}
+	}
+}
+
+func TestKShortestPathsOrderedAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomConnectedGraph(rng, 15, 25)
+	paths := g.KShortestPaths(0, 14, 6)
+	if len(paths) == 0 {
+		t.Fatal("no paths found")
+	}
+	prev := 0.0
+	for i, p := range paths {
+		if p.Weight < prev-1e-12 {
+			t.Fatalf("paths out of order at %d", i)
+		}
+		prev = p.Weight
+		// Weight must match the vertex sequence.
+		if math.Abs(pathWeight(g, p.Vertices)-p.Weight) > 1e-9 {
+			t.Fatalf("path %d weight mismatch", i)
+		}
+		if p.Vertices[0] != 0 || p.Vertices[len(p.Vertices)-1] != 14 {
+			t.Fatalf("path %d endpoints wrong: %v", i, p.Vertices)
+		}
+	}
+	// Paths must be pairwise distinct.
+	seen := map[string]bool{}
+	for _, p := range paths {
+		k := pathKey(p.Vertices)
+		if seen[k] {
+			t.Fatal("duplicate path")
+		}
+		seen[k] = true
+	}
+}
+
+func TestBidirectionalMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnectedGraph(rng, 50, 100)
+		for q := 0; q < 30; q++ {
+			u, v := rng.Intn(50), rng.Intn(50)
+			want := g.DijkstraTo(u, v)
+			got := g.BidirectionalDistance(u, v)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("(%d->%d): bidirectional %v, dijkstra %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestBidirectionalUnreachableAndSelf(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 2)
+	if d := g.BidirectionalDistance(0, 3); !math.IsInf(d, 1) {
+		t.Fatalf("unreachable = %v, want Inf", d)
+	}
+	if d := g.BidirectionalDistance(2, 2); d != 0 {
+		t.Fatalf("self distance = %v, want 0", d)
+	}
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"repro/internal/pq"
+)
+
+// MSTKruskal computes a minimum spanning forest of g using Kruskal's
+// algorithm with the deterministic edge order of SortedEdges. For a
+// connected graph the result has exactly n-1 edges. Ties are broken the same
+// way the greedy spanner breaks them, which realizes Observation 2 of the
+// paper: the greedy t-spanner (t >= 1) contains this exact MST.
+func (g *Graph) MSTKruskal() []Edge {
+	uf := NewUnionFind(g.N())
+	var mst []Edge
+	for _, e := range g.SortedEdges() {
+		if uf.Union(e.U, e.V) {
+			mst = append(mst, e)
+			if len(mst) == g.N()-1 {
+				break
+			}
+		}
+	}
+	return mst
+}
+
+// MSTPrim computes a minimum spanning forest using Prim's algorithm with an
+// indexed heap, O((m + n) log n). For connected graphs it returns n-1 edges
+// of the same total weight as MSTKruskal (the tree itself may differ when
+// weights tie).
+func (g *Graph) MSTPrim() []Edge {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	inTree := make([]bool, n)
+	bestW := make([]float64, n)
+	bestE := make([]Edge, n)
+	for i := range bestW {
+		bestW[i] = Inf
+	}
+	h := pq.NewIndexedMinHeap(n)
+	var mst []Edge
+	for start := 0; start < n; start++ {
+		if inTree[start] {
+			continue
+		}
+		// Grow a tree in start's component.
+		bestW[start] = 0
+		h.Push(start, 0)
+		for h.Len() > 0 {
+			v, _ := h.Pop()
+			if inTree[v] {
+				continue
+			}
+			inTree[v] = true
+			if v != start {
+				mst = append(mst, bestE[v])
+			}
+			for _, hf := range g.adj[v] {
+				u := int(hf.to)
+				if !inTree[u] && hf.w < bestW[u] {
+					bestW[u] = hf.w
+					bestE[u] = Edge{U: v, V: u, W: hf.w}.Canonical()
+					h.Push(u, hf.w)
+				}
+			}
+		}
+	}
+	return mst
+}
+
+// MSTWeight returns the total weight of a minimum spanning forest of g.
+func (g *Graph) MSTWeight() float64 {
+	var w float64
+	for _, e := range g.MSTKruskal() {
+		w += e.W
+	}
+	return w
+}
+
+// Lightness returns weight(h) / weight(MST(g)): the normalized weight of a
+// subgraph h relative to g's minimum spanning tree, the central quality
+// measure of the paper. It returns (0, false) when the MST weight is zero
+// (n <= 1 or no edges).
+func Lightness(h, g *Graph) (float64, bool) {
+	mw := g.MSTWeight()
+	if mw == 0 {
+		return 0, false
+	}
+	return h.Weight() / mw, true
+}

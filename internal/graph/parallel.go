@@ -1,0 +1,47 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// APSPParallel computes all-pairs shortest paths like APSP but fans the
+// per-source Dijkstra runs out over `workers` goroutines (0 selects
+// GOMAXPROCS). Each worker owns its Searcher, so no synchronization is
+// needed beyond handing out source indices; all goroutines are joined
+// before returning.
+func (g *Graph) APSPParallel(workers int) [][]float64 {
+	n := g.N()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([][]float64, n)
+	if n == 0 {
+		return out
+	}
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			search := NewSearcher(n)
+			for src := range next {
+				row := make([]float64, n)
+				search.Distances(g, src, row)
+				out[src] = row // distinct index per worker: no race
+			}
+		}()
+	}
+	for src := 0; src < n; src++ {
+		next <- src
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

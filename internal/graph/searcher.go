@@ -1,0 +1,51 @@
+package graph
+
+// Searcher runs repeated shortest-path queries over graphs with a fixed
+// vertex count while reusing all internal buffers, eliminating the per-call
+// allocations of the convenience methods on Graph. It is the workhorse of
+// the greedy main loops, which issue one distance query per candidate edge.
+//
+// A Searcher is not safe for concurrent use. The graph passed to each call
+// may differ between calls (e.g., a growing spanner) as long as its vertex
+// count matches the Searcher's.
+type Searcher struct {
+	scratch *dijkstraScratch
+	n       int
+}
+
+// NewSearcher returns a Searcher for graphs on n vertices.
+func NewSearcher(n int) *Searcher {
+	return &Searcher{scratch: newDijkstraScratch(n), n: n}
+}
+
+// DistanceWithin reports the shortest-path distance from src to dst in g if
+// it is at most limit, and (Inf, false) otherwise, like
+// Graph.DistanceWithin but allocation-free.
+func (s *Searcher) DistanceWithin(g *Graph, src, dst int, limit float64) (float64, bool) {
+	if src == dst {
+		return 0, true
+	}
+	g.dijkstra(src, dst, limit, s.scratch)
+	d := s.scratch.dist[dst]
+	s.scratch.reset()
+	if d <= limit {
+		return d, true
+	}
+	return Inf, false
+}
+
+// Distances computes single-source shortest-path distances from src in g,
+// filling dst (length n) with the result. Unreachable vertices get Inf.
+func (s *Searcher) Distances(g *Graph, src int, dst []float64) {
+	g.dijkstra(src, -1, Inf, s.scratch)
+	copy(dst, s.scratch.dist)
+	s.scratch.reset()
+}
+
+// BoundedDistances is Distances with a search limit: vertices beyond limit
+// keep Inf.
+func (s *Searcher) BoundedDistances(g *Graph, src int, limit float64, dst []float64) {
+	g.dijkstra(src, -1, limit, s.scratch)
+	copy(dst, s.scratch.dist)
+	s.scratch.reset()
+}

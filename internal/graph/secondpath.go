@@ -1,0 +1,35 @@
+package graph
+
+// SecondShortestPath returns the weight of the second-shortest simple path
+// between u and v: the lightest path that differs from a fixed shortest path
+// in at least one edge. If u and v are connected by only one path (or not
+// connected), it returns Inf. When multiple shortest paths exist the second
+// shortest has the same weight as the shortest, matching the convention in
+// Lemma 11 of the paper.
+//
+// The implementation is the k=2 case of Yen's algorithm: compute one
+// shortest path P, then for each edge e on P recompute the u-v distance in
+// g - e and take the minimum. O(|P| * Dijkstra).
+func (g *Graph) SecondShortestPath(u, v int) float64 {
+	sp := g.Dijkstra(u)
+	if sp.Dist[v] == Inf {
+		return Inf
+	}
+	path := sp.PathTo(v)
+	best := Inf
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		w, ok := g.EdgeWeight(a, b)
+		if !ok {
+			continue
+		}
+		rest, err := g.WithoutEdge(Edge{U: a, V: b, W: w})
+		if err != nil {
+			continue
+		}
+		if d := rest.DijkstraTo(u, v); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// Stats summarizes the structural quality measures of a (spanner) graph
+// that the paper's experiments report: size, weight, degree distribution,
+// and weighted diameter.
+type Stats struct {
+	N, M       int
+	Weight     float64
+	MaxDegree  int
+	AvgDegree  float64
+	Diameter   float64 // weighted; Inf if disconnected
+	HopRadius  int     // unweighted eccentricity of vertex 0 (hop count)
+	Components int
+}
+
+// ComputeStats gathers Stats for g. O(n * Dijkstra) for the diameter, so
+// intended for analysis, not inner loops.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{N: g.N(), M: g.M(), Weight: g.Weight(), MaxDegree: g.MaxDegree()}
+	if g.N() > 0 {
+		s.AvgDegree = 2 * float64(g.M()) / float64(g.N())
+	}
+	s.Components = len(g.Components())
+	s.Diameter = g.WeightedDiameter()
+	s.HopRadius = g.hopEccentricity(0)
+	return s
+}
+
+// WeightedDiameter returns the maximum finite shortest-path distance over
+// all vertex pairs, or Inf if g is disconnected (n >= 2).
+func (g *Graph) WeightedDiameter() float64 {
+	n := g.N()
+	if n <= 1 {
+		return 0
+	}
+	if !g.Connected() {
+		return Inf
+	}
+	best := 0.0
+	search := NewSearcher(n)
+	dist := make([]float64, n)
+	for v := 0; v < n; v++ {
+		search.Distances(g, v, dist)
+		for _, d := range dist {
+			if d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// hopEccentricity returns the maximum BFS depth from src over reachable
+// vertices.
+func (g *Graph) hopEccentricity(src int) int {
+	if g.N() == 0 {
+		return 0
+	}
+	depth := make([]int32, g.N())
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	queue := []int32{int32(src)}
+	best := 0
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		for _, h := range g.adj[v] {
+			if depth[h.to] == -1 {
+				depth[h.to] = depth[v] + 1
+				if int(depth[h.to]) > best {
+					best = int(depth[h.to])
+				}
+				queue = append(queue, h.to)
+			}
+		}
+	}
+	return best
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with degree d.
+func (g *Graph) DegreeHistogram() []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.N(); v++ {
+		counts[g.Degree(v)]++
+	}
+	return counts
+}
+
+// WeightQuantiles returns the q-quantiles of the edge-weight distribution
+// (q >= 1 values: the i-th entry is the (i+1)/(q+1) quantile). Returns nil
+// for an edgeless graph.
+func (g *Graph) WeightQuantiles(q int) []float64 {
+	if g.M() == 0 || q < 1 {
+		return nil
+	}
+	ws := make([]float64, g.M())
+	for i, e := range g.edges {
+		ws[i] = e.W
+	}
+	sort.Float64s(ws)
+	out := make([]float64, q)
+	for i := 1; i <= q; i++ {
+		idx := int(math.Round(float64(i) / float64(q+1) * float64(len(ws)-1)))
+		out[i-1] = ws[idx]
+	}
+	return out
+}

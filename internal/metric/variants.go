@@ -1,0 +1,121 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+)
+
+// LP is a Metric over points in R^d under an L_p norm (p >= 1, or p = +Inf
+// for the Chebyshev metric). L_p norms on bounded-dimension point sets are
+// doubling, so they exercise the paper's doubling-metric results beyond the
+// Euclidean case.
+type LP struct {
+	pts [][]float64
+	p   float64
+}
+
+// NewLP builds an L_p metric over the given points.
+func NewLP(pts [][]float64, p float64) (*LP, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("metric: L_p needs p >= 1, got %v", p)
+	}
+	if len(pts) > 0 {
+		d := len(pts[0])
+		if d == 0 {
+			return nil, fmt.Errorf("metric: zero-dimensional points")
+		}
+		for i, pt := range pts {
+			if len(pt) != d {
+				return nil, fmt.Errorf("metric: point %d has dim %d, want %d", i, len(pt), d)
+			}
+		}
+	}
+	return &LP{pts: pts, p: p}, nil
+}
+
+// N reports the number of points.
+func (m *LP) N() int { return len(m.pts) }
+
+// P reports the norm exponent.
+func (m *LP) P() float64 { return m.p }
+
+// Dist returns the L_p distance between points i and j.
+func (m *LP) Dist(i, j int) float64 {
+	a, b := m.pts[i], m.pts[j]
+	if math.IsInf(m.p, 1) {
+		var best float64
+		for k := range a {
+			if d := math.Abs(a[k] - b[k]); d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	if m.p == 1 {
+		var s float64
+		for k := range a {
+			s += math.Abs(a[k] - b[k])
+		}
+		return s
+	}
+	if m.p == 2 {
+		var s float64
+		for k := range a {
+			d := a[k] - b[k]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	var s float64
+	for k := range a {
+		s += math.Pow(math.Abs(a[k]-b[k]), m.p)
+	}
+	return math.Pow(s, 1/m.p)
+}
+
+// Snowflake is the alpha-snowflake of a base metric: distances d^alpha for
+// 0 < alpha <= 1. Snowflaking preserves metricity (concavity of x^alpha)
+// and reduces the doubling dimension by the factor alpha, making it a handy
+// knob for doubling-metric experiments.
+type Snowflake struct {
+	base  Metric
+	alpha float64
+}
+
+// NewSnowflake wraps base with exponent alpha in (0, 1].
+func NewSnowflake(base Metric, alpha float64) (*Snowflake, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("metric: snowflake exponent must be in (0, 1], got %v", alpha)
+	}
+	return &Snowflake{base: base, alpha: alpha}, nil
+}
+
+// N reports the number of points.
+func (m *Snowflake) N() int { return m.base.N() }
+
+// Dist returns base distance raised to alpha.
+func (m *Snowflake) Dist(i, j int) float64 {
+	return math.Pow(m.base.Dist(i, j), m.alpha)
+}
+
+// Scaled multiplies every distance of a base metric by a positive factor
+// (an isometry up to scale; spanner structure is invariant under it, which
+// tests exploit as a sanity property).
+type Scaled struct {
+	base   Metric
+	factor float64
+}
+
+// NewScaled wraps base with the given positive scale factor.
+func NewScaled(base Metric, factor float64) (*Scaled, error) {
+	if factor <= 0 || math.IsInf(factor, 0) || math.IsNaN(factor) {
+		return nil, fmt.Errorf("metric: scale factor must be positive and finite, got %v", factor)
+	}
+	return &Scaled{base: base, factor: factor}, nil
+}
+
+// N reports the number of points.
+func (m *Scaled) N() int { return m.base.N() }
+
+// Dist returns factor * base distance.
+func (m *Scaled) Dist(i, j int) float64 { return m.factor * m.base.Dist(i, j) }

@@ -1,0 +1,129 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLPKnownValues(t *testing.T) {
+	pts := [][]float64{{0, 0}, {3, 4}}
+	l1, err := NewLP(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := l1.Dist(0, 1); d != 7 {
+		t.Fatalf("L1 = %v, want 7", d)
+	}
+	l2, err := NewLP(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := l2.Dist(0, 1); d != 5 {
+		t.Fatalf("L2 = %v, want 5", d)
+	}
+	linf, err := NewLP(pts, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := linf.Dist(0, 1); d != 4 {
+		t.Fatalf("Linf = %v, want 4", d)
+	}
+	l3, err := NewLP(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(27+64, 1.0/3)
+	if d := l3.Dist(0, 1); math.Abs(d-want) > 1e-12 {
+		t.Fatalf("L3 = %v, want %v", d, want)
+	}
+	if l3.P() != 3 || l3.N() != 2 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestLPValidation(t *testing.T) {
+	if _, err := NewLP([][]float64{{1}}, 0.5); err == nil {
+		t.Fatal("p < 1 accepted")
+	}
+	if _, err := NewLP([][]float64{{1, 2}, {3}}, 2); err == nil {
+		t.Fatal("ragged points accepted")
+	}
+	if _, err := NewLP([][]float64{{}}, 2); err == nil {
+		t.Fatal("zero-dim accepted")
+	}
+}
+
+func TestLPSatisfiesAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := unitSquarePoints(rng, 25)
+	for _, p := range []float64{1, 1.5, 2, 3, math.Inf(1)} {
+		m, err := NewLP(pts, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(m, 1e-9); err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+	}
+}
+
+func TestSnowflakeAxiomsAndMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := MustEuclidean(unitSquarePoints(rng, 25))
+	for _, alpha := range []float64{0.3, 0.5, 1.0} {
+		sf, err := NewSnowflake(base, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(sf, 1e-9); err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+	}
+	if _, err := NewSnowflake(base, 0); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+	if _, err := NewSnowflake(base, 1.5); err == nil {
+		t.Fatal("alpha>1 accepted")
+	}
+	// alpha=1 is the identity.
+	sf, _ := NewSnowflake(base, 1)
+	if sf.Dist(0, 1) != base.Dist(0, 1) {
+		t.Fatal("alpha=1 snowflake changed distances")
+	}
+}
+
+func TestSnowflakeReducesDoublingDimension(t *testing.T) {
+	// Points on a line: snowflaking with alpha=0.5 cannot increase the
+	// estimated doubling dimension beyond a small constant of the original.
+	pts := make([][]float64, 64)
+	for i := range pts {
+		pts[i] = []float64{float64(i)}
+	}
+	base := MustEuclidean(pts)
+	sf, err := NewSnowflake(base, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddBase := DoublingDimension(base)
+	ddSf := DoublingDimension(sf)
+	if ddSf > ddBase+1.5 {
+		t.Fatalf("snowflake ddim %v much larger than base %v", ddSf, ddBase)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	base := MustEuclidean([][]float64{{0, 0}, {1, 0}})
+	sc, err := NewScaled(base, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.N() != 2 || sc.Dist(0, 1) != 2.5 {
+		t.Fatalf("scaled dist = %v", sc.Dist(0, 1))
+	}
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := NewScaled(base, bad); err == nil {
+			t.Fatalf("factor %v accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package nettree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/metric"
+	"repro/internal/verify"
+)
+
+func TestBuildHierarchyInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := metric.MustEuclidean(gen.UniformPoints(rng, 80, 2))
+	tree, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() < 2 {
+		t.Fatalf("depth = %d, want >= 2", tree.Depth())
+	}
+	if len(tree.Levels[0]) != 1 {
+		t.Fatalf("top level has %d points, want 1", len(tree.Levels[0]))
+	}
+	bottom := tree.Levels[tree.Depth()-1]
+	if len(bottom) != m.N() {
+		t.Fatalf("bottom level has %d points, want all %d", len(bottom), m.N())
+	}
+	for li := 1; li < tree.Depth(); li++ {
+		if tree.Radius[li] >= tree.Radius[li-1] {
+			t.Fatalf("radius not decreasing at level %d", li)
+		}
+		// Nesting: previous net points appear in the current net.
+		cur := make(map[int]bool, len(tree.Levels[li]))
+		for _, p := range tree.Levels[li] {
+			cur[p] = true
+		}
+		for _, p := range tree.Levels[li-1] {
+			if !cur[p] {
+				t.Fatalf("net not nested: level %d point %d missing at level %d", li-1, p, li)
+			}
+		}
+		// Separation: net points pairwise > radius apart.
+		net, r := tree.Levels[li], tree.Radius[li]
+		for i := 0; i < len(net); i++ {
+			for j := i + 1; j < len(net); j++ {
+				if m.Dist(net[i], net[j]) <= r {
+					t.Fatalf("level %d: points %d, %d closer than radius %v", li, net[i], net[j], r)
+				}
+			}
+		}
+		// Parents exist and are close.
+		for _, p := range net {
+			pi, ok := tree.Parent[li][p]
+			if !ok {
+				t.Fatalf("level %d point %d has no parent", li, p)
+			}
+			q := tree.Levels[li-1][pi]
+			if m.Dist(p, q) > tree.Radius[li-1] {
+				t.Fatalf("level %d point %d parent at distance %v > %v", li, p, m.Dist(p, q), tree.Radius[li-1])
+			}
+		}
+	}
+}
+
+func TestBuildDegenerate(t *testing.T) {
+	if _, err := Build(metric.MustEuclidean(nil)); err == nil {
+		t.Fatal("empty metric accepted")
+	}
+	tree, err := Build(metric.MustEuclidean([][]float64{{3, 3}}))
+	if err != nil || tree.Depth() != 1 {
+		t.Fatalf("single point: %v, depth %d", err, tree.Depth())
+	}
+}
+
+func TestBaseSpannerStretch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, eps := range []float64{0.25, 0.5, 1.0} {
+		m := metric.MustEuclidean(gen.UniformPoints(rng, 60, 2))
+		g, _, err := BaseSpanner(m, BaseSpannerOptions{Eps: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := verify.MetricSpanner(g, m, 1+eps, 1e-9); err != nil {
+			t.Fatalf("eps=%v: %v", eps, err)
+		}
+		if !g.Connected() {
+			t.Fatalf("eps=%v: base spanner disconnected", eps)
+		}
+	}
+}
+
+func TestBaseSpannerLinearSizeScaling(t *testing.T) {
+	// Theorem 2 shape: the base spanner has n * eps^{-O(ddim)} edges — the
+	// eps constant is large, so the meaningful check is that edges grow
+	// roughly linearly in n (a quadratic construction would quadruple).
+	rng := rand.New(rand.NewSource(3))
+	sizes := []int{100, 200, 400}
+	perN := make([]float64, len(sizes))
+	for i, n := range sizes {
+		m := metric.MustEuclidean(gen.UniformPoints(rng, n, 2))
+		// Pin gamma so the test isolates the construction's size scaling
+		// from the self-tuning ladder's (instance-dependent) choice.
+		g, _, err := BaseSpanner(m, BaseSpannerOptions{Eps: 0.5, Gamma: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perN[i] = float64(g.M()) / float64(n)
+	}
+	// Edges-per-vertex should not grow by more than ~1.5x per doubling
+	// (linear growth keeps it flat; quadratic doubles it each step).
+	for i := 1; i < len(perN); i++ {
+		if perN[i] > 1.5*perN[i-1] {
+			t.Fatalf("edges/n grew %v -> %v on doubling n; not linear", perN[i-1], perN[i])
+		}
+	}
+}
+
+func TestBaseSpannerOnClusteredDoublingMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := metric.MustEuclidean(gen.ClusteredPoints(rng, 70, 2, 5, 0.02))
+	g, _, err := BaseSpanner(m, BaseSpannerOptions{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.MetricSpanner(g, m, 1.5, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaseSpannerExponentialSpread(t *testing.T) {
+	// Exponential spread exercises the per-scale loop depth.
+	m := metric.MustEuclidean(gen.ExponentialLine(12))
+	g, tree, err := BaseSpanner(m, BaseSpannerOptions{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() < 10 {
+		t.Fatalf("depth = %d, want >= 10 for exponential spread", tree.Depth())
+	}
+	if _, err := verify.MetricSpanner(g, m, 1.5, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaseSpannerValidation(t *testing.T) {
+	m := metric.MustEuclidean([][]float64{{0, 0}, {1, 1}})
+	if _, _, err := BaseSpanner(m, BaseSpannerOptions{Eps: 0}); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, _, err := BaseSpanner(m, BaseSpannerOptions{Eps: -0.5}); err == nil {
+		t.Fatal("negative eps accepted")
+	}
+}

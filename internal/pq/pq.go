@@ -1,0 +1,138 @@
+// Package pq provides indexed priority queues used by the shortest-path and
+// minimum-spanning-tree algorithms in this repository.
+//
+// The central type is IndexedMinHeap, a binary min-heap keyed by float64
+// priorities over a dense universe of integer items [0, n). It supports the
+// DecreaseKey operation required by Dijkstra's and Prim's algorithms in
+// O(log n) time, and O(1) membership and priority lookup.
+package pq
+
+// IndexedMinHeap is a binary min-heap over items 0..n-1 with float64 keys.
+// Each item may appear at most once. The zero value is not usable; construct
+// with NewIndexedMinHeap.
+type IndexedMinHeap struct {
+	// heap[i] is the item stored at heap position i.
+	heap []int32
+	// pos[v] is the heap position of item v, or -1 if v is not in the heap.
+	pos []int32
+	// key[v] is the current priority of item v (valid only when pos[v] >= 0).
+	key []float64
+}
+
+// NewIndexedMinHeap returns an empty heap over the universe [0, n).
+func NewIndexedMinHeap(n int) *IndexedMinHeap {
+	h := &IndexedMinHeap{
+		heap: make([]int32, 0, n),
+		pos:  make([]int32, n),
+		key:  make([]float64, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len reports the number of items currently in the heap.
+func (h *IndexedMinHeap) Len() int { return len(h.heap) }
+
+// Contains reports whether item v is currently in the heap.
+func (h *IndexedMinHeap) Contains(v int) bool { return h.pos[v] >= 0 }
+
+// Key returns the current priority of item v. It must only be called when
+// Contains(v) is true; otherwise the returned value is stale or zero.
+func (h *IndexedMinHeap) Key(v int) float64 { return h.key[v] }
+
+// Push inserts item v with priority k. If v is already present, Push behaves
+// like DecreaseKey when k is smaller than the current key and is a no-op
+// otherwise.
+func (h *IndexedMinHeap) Push(v int, k float64) {
+	if h.pos[v] >= 0 {
+		if k < h.key[v] {
+			h.DecreaseKey(v, k)
+		}
+		return
+	}
+	h.key[v] = k
+	h.pos[v] = int32(len(h.heap))
+	h.heap = append(h.heap, int32(v))
+	h.siftUp(len(h.heap) - 1)
+}
+
+// DecreaseKey lowers the priority of item v to k. It is a no-op if v is not
+// in the heap or k is not smaller than the current key.
+func (h *IndexedMinHeap) DecreaseKey(v int, k float64) {
+	p := h.pos[v]
+	if p < 0 || k >= h.key[v] {
+		return
+	}
+	h.key[v] = k
+	h.siftUp(int(p))
+}
+
+// Peek returns the item with the minimum key and that key without removing
+// it. It must not be called on an empty heap.
+func (h *IndexedMinHeap) Peek() (v int, k float64) {
+	top := h.heap[0]
+	return int(top), h.key[top]
+}
+
+// Pop removes and returns the item with the minimum key along with that key.
+// It must not be called on an empty heap (Len() == 0); doing so panics, which
+// indicates a programming error in the caller.
+func (h *IndexedMinHeap) Pop() (v int, k float64) {
+	top := h.heap[0]
+	k = h.key[top]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[top] = -1
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return int(top), k
+}
+
+// Reset empties the heap without releasing its backing storage, allowing it
+// to be reused across repeated runs over the same universe.
+func (h *IndexedMinHeap) Reset() {
+	for _, v := range h.heap {
+		h.pos[v] = -1
+	}
+	h.heap = h.heap[:0]
+}
+
+func (h *IndexedMinHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = int32(i)
+	h.pos[h.heap[j]] = int32(j)
+}
+
+func (h *IndexedMinHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.key[h.heap[parent]] <= h.key[h.heap[i]] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexedMinHeap) siftDown(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.key[h.heap[l]] < h.key[h.heap[smallest]] {
+			smallest = l
+		}
+		if r < n && h.key[h.heap[r]] < h.key[h.heap[smallest]] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,83 @@
+package verify
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/metric"
+)
+
+// MetricSpannerParallel is MetricSpanner with the per-source Dijkstra runs
+// fanned out over `workers` goroutines (0 selects GOMAXPROCS). Each worker
+// owns its Searcher and distance buffer; results are merged after all
+// workers join. Used by the experiment harness on large audits.
+func MetricSpannerParallel(h *graph.Graph, m metric.Metric, t, eps float64, workers int) (StretchReport, error) {
+	n := m.N()
+	if h.N() != n {
+		return StretchReport{}, fmt.Errorf("verify: vertex sets differ (%d vs %d)", h.N(), n)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return StretchReport{}, nil
+	}
+
+	type partial struct {
+		rep StretchReport
+		err error
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	sources := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			search := graph.NewSearcher(n)
+			dist := make([]float64, n)
+			local := &parts[slot]
+			for u := range sources {
+				if local.err != nil {
+					continue // drain remaining work after a failure
+				}
+				search.Distances(h, u, dist)
+				for v := u + 1; v < n; v++ {
+					local.rep.Pairs++
+					d, want := dist[v], m.Dist(u, v)
+					if d > t*want+eps {
+						local.err = fmt.Errorf("verify: stretch violated at (%d, %d): %v > %v", u, v, d, t*want)
+						break
+					}
+					if want > 0 {
+						if s := d / want; s > local.rep.MaxStretch {
+							local.rep.MaxStretch, local.rep.WorstU, local.rep.WorstV = s, u, v
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	for u := 0; u < n; u++ {
+		sources <- u
+	}
+	close(sources)
+	wg.Wait()
+
+	var merged StretchReport
+	for _, p := range parts {
+		if p.err != nil {
+			return merged, p.err
+		}
+		merged.Pairs += p.rep.Pairs
+		if p.rep.MaxStretch > merged.MaxStretch {
+			merged.MaxStretch, merged.WorstU, merged.WorstV = p.rep.MaxStretch, p.rep.WorstU, p.rep.WorstV
+		}
+	}
+	return merged, nil
+}

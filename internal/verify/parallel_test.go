@@ -1,0 +1,59 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metric"
+)
+
+func TestMetricSpannerParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	m := metric.MustEuclidean(gen.UniformPoints(rng, 60, 2))
+	res, err := core.GreedyMetricFast(m, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Graph()
+	serial, err := MetricSpanner(h, m, 1.5, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 4, 100} {
+		par, err := MetricSpannerParallel(h, m, 1.5, 1e-9, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Pairs != serial.Pairs {
+			t.Fatalf("workers=%d: pairs %d vs %d", workers, par.Pairs, serial.Pairs)
+		}
+		if par.MaxStretch != serial.MaxStretch {
+			t.Fatalf("workers=%d: max stretch %v vs %v", workers, par.MaxStretch, serial.MaxStretch)
+		}
+	}
+}
+
+func TestMetricSpannerParallelDetectsViolation(t *testing.T) {
+	m := metric.MustEuclidean([][]float64{{0, 0}, {1, 0}, {2, 0}})
+	// Missing edges: stretch unbounded.
+	h := graph.New(3)
+	h.MustAddEdge(0, 1, 1)
+	if _, err := MetricSpannerParallel(h, m, 10, 1e-9, 2); err == nil {
+		t.Fatal("violation not detected")
+	}
+	// Vertex-count mismatch.
+	if _, err := MetricSpannerParallel(graph.New(2), m, 1, 0, 2); err == nil {
+		t.Fatal("vertex mismatch accepted")
+	}
+}
+
+func TestMetricSpannerParallelEmpty(t *testing.T) {
+	m := metric.MustEuclidean(nil)
+	rep, err := MetricSpannerParallel(graph.New(0), m, 1, 0, 4)
+	if err != nil || rep.Pairs != 0 {
+		t.Fatalf("empty metric: %v, %+v", err, rep)
+	}
+}

@@ -1,0 +1,138 @@
+// Package spanner is the public API of this repository: a Go implementation
+// of the greedy spanner and its companions from "The Greedy Spanner is
+// Existentially Optimal" (Filtser & Solomon, PODC 2016).
+//
+// The package exposes three families of constructions:
+//
+//   - Greedy / GreedyMetric / GreedyMetricFast — Algorithm 1 of the paper:
+//     the greedy t-spanner for weighted graphs and finite metric spaces,
+//     existentially optimal in size and lightness (Theorems 4 and 5).
+//   - ApproxGreedy — the O(n log n)-style approximate-greedy algorithm for
+//     doubling metrics (Section 5, Theorem 6), with constant lightness and
+//     degree.
+//   - Verification utilities — stretch, lightness, MST containment, and the
+//     Lemma 3 self-spanner property, so downstream users can audit any
+//     spanner against the paper's definitions.
+//
+// Quick start:
+//
+//	g := spanner.NewGraph(4)
+//	g.MustAddEdge(0, 1, 1)
+//	g.MustAddEdge(1, 2, 1)
+//	g.MustAddEdge(2, 3, 1)
+//	g.MustAddEdge(3, 0, 1)
+//	res, err := spanner.Greedy(g, 3)
+//	// res.Edges is the greedy 3-spanner edge set.
+//
+// Vertices are dense integers in [0, n); weights are positive float64s.
+package spanner
+
+import (
+	"math/rand"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metric"
+	"repro/internal/verify"
+)
+
+// Graph re-exports the weighted undirected graph type used across the API.
+type Graph = graph.Graph
+
+// Edge re-exports the weighted undirected edge type.
+type Edge = graph.Edge
+
+// Result re-exports the spanner construction result.
+type Result = core.Result
+
+// Metric re-exports the finite metric-space interface.
+type Metric = metric.Metric
+
+// ApproxOptions re-exports the approximate-greedy configuration.
+type ApproxOptions = approx.Options
+
+// ApproxResult re-exports the approximate-greedy output.
+type ApproxResult = approx.Result
+
+// StretchReport re-exports the stretch audit report.
+type StretchReport = verify.StretchReport
+
+// NewGraph returns an empty weighted graph on n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewEuclidean builds a Euclidean metric over the given points (same
+// dimension everywhere).
+func NewEuclidean(pts [][]float64) (Metric, error) { return metric.NewEuclidean(pts) }
+
+// NewMetricFromMatrix wraps an explicit symmetric distance matrix.
+func NewMetricFromMatrix(d [][]float64) (Metric, error) { return metric.NewMatrix(d) }
+
+// MetricFromGraph returns the shortest-path metric induced by a connected
+// weighted graph (the M_G of the paper's Section 2).
+func MetricFromGraph(g *Graph) (Metric, error) { return metric.FromGraph(g) }
+
+// Greedy computes the greedy t-spanner of a weighted graph (Algorithm 1 of
+// the paper): edges are examined in non-decreasing weight order, and (u, v)
+// is kept iff the current spanner distance exceeds t*w(u, v).
+func Greedy(g *Graph, t float64) (*Result, error) { return core.GreedyGraph(g, t) }
+
+// GreedyMetric computes the greedy t-spanner of a finite metric space by
+// examining all pairwise distances ("path-greedy").
+func GreedyMetric(m Metric, t float64) (*Result, error) { return core.GreedyMetric(m, t) }
+
+// GreedyMetricFast is GreedyMetric with cached distance bounds in the
+// spirit of Bose et al. [BCF+10]; it returns the identical spanner with
+// near-quadratic practical running time.
+func GreedyMetricFast(m Metric, t float64) (*Result, error) { return core.GreedyMetricFast(m, t) }
+
+// ApproxGreedy runs the approximate-greedy (1+eps)-spanner algorithm for
+// doubling metrics (Section 5 of the paper; Das–Narasimhan / Gudmundsson et
+// al. architecture): a bounded-degree base spanner, a light-edge shortcut,
+// and a bucketed greedy simulation over a cluster graph.
+func ApproxGreedy(m Metric, opts ApproxOptions) (*ApproxResult, error) { return approx.Greedy(m, opts) }
+
+// VerifySpanner checks that h is a t-spanner of g (over the edges of g,
+// which implies the bound for all pairs) and reports the worst stretch.
+func VerifySpanner(h, g *Graph, t float64) (StretchReport, error) {
+	return verify.Spanner(h, g, t, 1e-9)
+}
+
+// VerifyMetricSpanner checks that h spans the metric m with stretch t over
+// all point pairs.
+func VerifyMetricSpanner(h *Graph, m Metric, t float64) (StretchReport, error) {
+	return verify.MetricSpanner(h, m, t, 1e-9)
+}
+
+// VerifySelfSpanner checks Lemma 3 on a purported greedy output: every edge
+// must be irreplaceable. It returns the violating edges (empty for genuine
+// greedy spanners).
+func VerifySelfSpanner(h *Graph, t float64) []core.SelfSpannerViolation {
+	return core.VerifySelfSpanner(h, t)
+}
+
+// Lightness returns weight(h) / weight(MST(g)), the paper's Psi(H).
+func Lightness(h, g *Graph) (float64, error) { return verify.Lightness(h, g) }
+
+// MetricLightness returns weight(h) / weight(MST of the metric's complete
+// distance graph).
+func MetricLightness(h *Graph, m Metric) (float64, error) { return verify.MetricLightness(h, m) }
+
+// BaswanaSen builds the randomized (2k-1)-spanner of Baswana and Sen, one
+// of the baseline constructions used in the comparison experiments.
+func BaswanaSen(rng *rand.Rand, g *Graph, k int) (*Graph, error) {
+	return baswanaSen(rng, g, k)
+}
+
+// FaultTolerantGreedy computes an f-vertex-fault-tolerant t-spanner of a
+// metric (Czumaj–Zhao style greedy; the [Sol14] direction the paper cites).
+// Supported for f in {0, 1, 2}; see internal/core for the cost model.
+func FaultTolerantGreedy(m Metric, t float64, f int) (*Result, error) {
+	return core.FaultTolerantGreedy(m, t, f)
+}
+
+// VerifyFaultTolerance exhaustively audits that h is an f-fault-tolerant
+// t-spanner of m (f in {0, 1, 2}).
+func VerifyFaultTolerance(h *Graph, m Metric, t float64, f int) error {
+	return core.VerifyFaultTolerance(h, m, t, f, 1e-9)
+}

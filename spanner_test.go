@@ -1,0 +1,132 @@
+package spanner
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPublicAPIRoundTrip exercises the facade end to end: build a graph,
+// construct greedy and baseline spanners, and verify them.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	g := NewGraph(5)
+	edges := [][3]float64{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}, {4, 0, 1}, {0, 2, 1.8}}
+	for _, e := range edges {
+		if err := g.AddEdge(int(e[0]), int(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Greedy(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() == 0 || res.Size() > g.M() {
+		t.Fatalf("spanner size %d out of range", res.Size())
+	}
+	if _, err := VerifySpanner(res.Graph(), g, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v := VerifySelfSpanner(res.Graph(), 2); len(v) != 0 {
+		t.Fatalf("self-spanner violations: %v", v)
+	}
+	if _, err := Lightness(res.Graph(), g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIMetric(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0.5, 0.5}}
+	m, err := NewEuclidean(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GreedyMetric(m, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := GreedyMetricFast(m, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != fast.Size() {
+		t.Fatalf("naive and fast greedy disagree: %d vs %d", res.Size(), fast.Size())
+	}
+	if _, err := VerifyMetricSpanner(res.Graph(), m, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MetricLightness(res.Graph(), m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIApproxGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([][]float64, 40)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	m, err := NewEuclidean(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ApproxGreedy(m, ApproxOptions{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyMetricSpanner(res.Spanner, m, 1.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([][]float64, 30)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	m, err := NewEuclidean(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, err := ThetaGraph(pts, 12); err != nil || g.M() == 0 {
+		t.Fatalf("ThetaGraph: %v", err)
+	}
+	if g, err := YaoGraph(pts, 12); err != nil || g.M() == 0 {
+		t.Fatalf("YaoGraph: %v", err)
+	}
+	if g, err := WSPDSpanner(pts, 0.5); err != nil || g.M() == 0 {
+		t.Fatalf("WSPDSpanner: %v", err)
+	}
+	cg := NewGraph(m.N())
+	for i := 0; i < m.N(); i++ {
+		for j := i + 1; j < m.N(); j++ {
+			cg.MustAddEdge(i, j, m.Dist(i, j))
+		}
+	}
+	sp, err := BaswanaSen(rng, cg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifySpanner(sp, cg, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIMetricFromGraphAndMatrix(t *testing.T) {
+	g := NewGraph(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+	m, err := MetricFromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dist(0, 2) != 3 {
+		t.Fatalf("Dist(0,2) = %v, want 3", m.Dist(0, 2))
+	}
+	mm, err := NewMetricFromMatrix([][]float64{{0, 5}, {5, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.Dist(1, 0) != 5 {
+		t.Fatalf("matrix Dist = %v", mm.Dist(1, 0))
+	}
+}
