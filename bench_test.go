@@ -7,13 +7,16 @@ package spanner
 //
 //	go run ./cmd/spannerbench -scale full
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/approx"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/metric"
 )
 
@@ -112,6 +115,72 @@ func BenchmarkGreedyGraphN200(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGreedyGraphParallel compares the sequential greedy scan against
+// the batched-parallel engine at the acceptance sizes. The n=2000 instance
+// uses density 0.05 (~100k candidate edges) so the sequential baseline
+// completes in sensible benchmark time; spannerbench -exp greedybench
+// records the same comparison in BENCH_greedy.json.
+func BenchmarkGreedyGraphParallel(b *testing.B) {
+	for _, cfg := range []struct {
+		n int
+		p float64
+	}{{200, 0.2}, {2000, 0.05}} {
+		rng := rand.New(rand.NewSource(1))
+		g := gen.ErdosRenyi(rng, cfg.n, cfg.p, 0.5, 10)
+		b.Run(fmt.Sprintf("n=%d/sequential", cfg.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.GreedyGraph(g, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		workerSet := []int{1, 4}
+		if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+			workerSet = append(workerSet, p)
+		}
+		for _, w := range workerSet {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", cfg.n, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.GreedyGraphParallel(g, 3, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBoundedDistanceQuery isolates the greedy engine's query
+// primitive: the same skip-certification queries (endpoints and limit
+// t*w of every candidate edge) answered by one-sided bounded Dijkstra
+// versus bounded bidirectional search, both against the final greedy
+// spanner.
+func BenchmarkBoundedDistanceQuery(b *testing.B) {
+	g := benchGraph(1000, 4)
+	res, err := core.GreedyGraph(g, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := res.Graph()
+	queries := g.SortedEdges()
+	if len(queries) > 4096 {
+		queries = queries[:4096]
+	}
+	search := graph.NewSearcher(g.N())
+	b.Run("unidirectional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := queries[i%len(queries)]
+			search.DistanceWithin(h, e.U, e.V, 3*e.W)
+		}
+	})
+	b.Run("bidirectional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := queries[i%len(queries)]
+			search.BidirDistanceWithin(h, e.U, e.V, 3*e.W)
+		}
+	})
 }
 
 func benchMetric(n int, seed int64) Metric {

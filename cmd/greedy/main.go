@@ -6,6 +6,8 @@
 //	greedy -t 3 -graph edges.txt        # graph input: lines "u v w"
 //	greedy -t 1.5 -points pts.txt       # point input: lines "x1 x2 ... xd"
 //	greedy -t 1.5 -points pts.txt -algo approx   # approximate-greedy
+//	greedy -t 3 -graph edges.txt -workers 4      # batched-parallel engine
+//	greedy -t 3 -graph edges.txt -workers -1     # sequential reference scan
 //
 // Graph files list one edge per line as "u v w" with integer vertex ids
 // (vertex count is inferred as max id + 1). Point files list one point per
@@ -44,18 +46,29 @@ func run(args []string, out *os.File) error {
 	graphPath := fs.String("graph", "", "path to an edge-list graph file")
 	pointsPath := fs.String("points", "", "path to a point-set file")
 	algo := fs.String("algo", "greedy", "construction: greedy or approx (points only)")
+	workers := fs.Int("workers", 0, "parallel greedy workers, -graph only (0 = GOMAXPROCS, -1 = sequential engine)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	switch {
 	case *graphPath != "" && *pointsPath != "":
 		return fmt.Errorf("use exactly one of -graph or -points")
+	case *pointsPath != "" && *workers != 0:
+		return fmt.Errorf("-workers applies to -graph input only")
 	case *graphPath != "":
 		g, err := readGraph(*graphPath)
 		if err != nil {
 			return err
 		}
-		res, err := core.GreedyGraph(g, *t)
+		// The parallel engine produces the same spanner as the sequential
+		// scan; -workers -1 keeps the reference path reachable for
+		// cross-checking.
+		var res *core.Result
+		if *workers < 0 {
+			res, err = core.GreedyGraph(g, *t)
+		} else {
+			res, err = core.GreedyGraphParallel(g, *t, *workers)
+		}
 		if err != nil {
 			return err
 		}

@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	spannerbench [-exp all|e1|...|e10] [-scale small|full] [-seed N]
+//	spannerbench [-exp all|e1|...|e12|a1..a4|ablations|greedybench] [-scale small|full] [-seed N]
 //
 // The "full" scale is what EXPERIMENTS.md records; "small" finishes in a
 // few seconds.
+//
+// -exp greedybench times the sequential greedy scan against the
+// batched-parallel engine (repeated runs, median + spread, outputs
+// compared edge-for-edge) and writes the machine-readable report to the
+// -json path (default BENCH_greedy.json).
 package main
 
 import (
@@ -29,9 +34,11 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("spannerbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a3, ablations")
+	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a4, ablations, greedybench")
 	scaleFlag := fs.String("scale", "small", "experiment scale: small or full")
 	seed := fs.Int64("seed", 42, "random seed for workload generation")
+	jsonPath := fs.String("json", "BENCH_greedy.json", "output path for the greedybench report")
+	reps := fs.Int("reps", 3, "repetitions per timing in greedybench (min 3)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,9 +69,22 @@ func run(args []string) error {
 		"a1":  func() (*bench.Table, error) { return bench.A1Deputies(scale) },
 		"a2":  func() (*bench.Table, error) { return bench.A2BucketWidth(scale, *seed+8) },
 		"a3":  func() (*bench.Table, error) { return bench.A3Certification(scale, *seed+9) },
+		"a4":  func() (*bench.Table, error) { return bench.A4ParallelBatchWidth(scale, *seed+12) },
 	}
 
 	name := strings.ToLower(*exp)
+	if name == "greedybench" {
+		tab, report, err := bench.GreedyBench(scale, *seed, *reps)
+		if err != nil {
+			return err
+		}
+		tab.Fprint(os.Stdout)
+		if err := report.WriteJSON(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stdout, "\nwrote %s\n", *jsonPath)
+		return nil
+	}
 	if name == "all" || name == "ablations" {
 		var (
 			tabs []*bench.Table
@@ -87,7 +107,7 @@ func run(args []string) error {
 	}
 	r, ok := runners[name]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want all, e1..e12, or a1..a3)", *exp)
+		return fmt.Errorf("unknown experiment %q (want all, e1..e12, a1..a4, ablations, or greedybench)", *exp)
 	}
 	tab, err := r()
 	if err != nil {

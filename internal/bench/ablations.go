@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/approx"
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/metric"
 	"repro/internal/nettree"
@@ -130,7 +131,46 @@ func A3Certification(scale Scale, seed int64) (*Table, error) {
 	return tab, nil
 }
 
-// Ablations runs A1–A3 in order.
+// A4ParallelBatchWidth sweeps the batch width of the batched-parallel
+// greedy engine (the graph analogue of A2's bucket ratio): wider batches
+// amortize the worker fan-out but test more edges against a staler
+// snapshot, pushing them into the serial re-check. Width 0 is the adaptive
+// policy, which should land near the best fixed width without tuning.
+func A4ParallelBatchWidth(scale Scale, seed int64) (*Table, error) {
+	tab := &Table{
+		Title:  "A4 (ablation): batched-parallel greedy batch width",
+		Header: []string{"n", "m", "batch", "ms", "batches", "certified", "serial skips", "kept", "final width"},
+		Caption: "certified = skips proven in parallel against the frozen snapshot; serial skips\n" +
+			"fell through to the ordered re-check. batch=adaptive grows/shrinks with the certify rate.",
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 150
+	if scale == Full {
+		n = 800
+	}
+	g := gen.ErdosRenyi(rng, n, 0.2, 0.5, 10)
+	for _, batch := range []int{32, 128, 512, 2048, 0} {
+		name := itoa(batch)
+		if batch == 0 {
+			name = "adaptive"
+		}
+		var stats core.ParallelStats
+		start := time.Now()
+		res, err := core.GreedyGraphParallelOpts(g, 3, core.ParallelOptions{
+			Workers: 4, BatchSize: batch, Stats: &stats,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ms := time.Since(start).Seconds() * 1000
+		tab.AddRow(itoa(n), itoa(g.M()), name, f2(ms), itoa(stats.Batches),
+			itoa(stats.CertifiedSkips), itoa(stats.SerialSkips), itoa(res.Size()),
+			itoa(stats.FinalBatchSize))
+	}
+	return tab, nil
+}
+
+// Ablations runs A1–A4 in order.
 func Ablations(scale Scale, seed int64) ([]*Table, error) {
 	var out []*Table
 	t1, err := A1Deputies(scale)
@@ -147,5 +187,10 @@ func Ablations(scale Scale, seed int64) ([]*Table, error) {
 	if err != nil {
 		return out, err
 	}
-	return append(out, t3), nil
+	out = append(out, t3)
+	t4, err := A4ParallelBatchWidth(scale, seed+2)
+	if err != nil {
+		return out, err
+	}
+	return append(out, t4), nil
 }

@@ -1,6 +1,9 @@
 package bench
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 func TestA1DeputiesSmall(t *testing.T) {
 	tab, err := A1Deputies(Small)
@@ -53,12 +56,72 @@ func TestA3CertificationSmall(t *testing.T) {
 	}
 }
 
+func TestA4ParallelBatchWidthSmall(t *testing.T) {
+	tab, err := A4ParallelBatchWidth(Small, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: fixed widths 32/128/512/2048 plus adaptive.
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		kept := atoiMust(t, row[7])
+		if kept == 0 {
+			t.Fatalf("no edges kept in row %v", row)
+		}
+		// Every examined edge is either certified, serially skipped, or kept.
+		if atoiMust(t, row[5])+atoiMust(t, row[6])+kept != atoiMust(t, row[1]) {
+			t.Fatalf("skip accounting broken in row %v", row)
+		}
+	}
+	// All widths must agree on the spanner size (identical decisions).
+	first := atoiMust(t, tab.Rows[0][7])
+	for _, row := range tab.Rows[1:] {
+		if atoiMust(t, row[7]) != first {
+			t.Fatalf("batch width changed the spanner: %v", tab.Rows)
+		}
+	}
+}
+
 func TestAblationsAll(t *testing.T) {
 	tabs, err := Ablations(Small, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 3 {
-		t.Fatalf("tables = %d, want 3", len(tabs))
+	if len(tabs) != 4 {
+		t.Fatalf("tables = %d, want 4", len(tabs))
+	}
+}
+
+func TestGreedyBenchSmall(t *testing.T) {
+	tab, report, err := GreedyBench(Small, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Cases) != 1 || report.Cases[0].N != 200 {
+		t.Fatalf("unexpected cases: %+v", report.Cases)
+	}
+	c := report.Cases[0]
+	if !c.IdenticalOutput {
+		t.Fatal("parallel engine output diverged from sequential")
+	}
+	if len(c.SequentialMS) != 3 {
+		t.Fatalf("want 3 sequential samples, got %d", len(c.SequentialMS))
+	}
+	for _, run := range c.Parallel {
+		if len(run.MS) != 3 || run.MedianMS <= 0 || run.Speedup <= 0 {
+			t.Fatalf("implausible parallel run: %+v", run)
+		}
+	}
+	if len(tab.Rows) != 1+len(c.Parallel) {
+		t.Fatalf("table rows = %d, want %d", len(tab.Rows), 1+len(c.Parallel))
+	}
+	path := t.TempDir() + "/BENCH_greedy.json"
+	if err := report.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -89,16 +89,21 @@ func TestE6SmallGreedyWins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Within each (n, t) block, the greedy row must have the fewest edges.
-	// Rows come in blocks of 6 constructions; greedy is first.
-	const block = 6
+	// Within each (n, t) block, the greedy rows must have the fewest
+	// edges. Rows come in blocks of 7 constructions; the two greedy
+	// engines (sequential and parallel, identical output) lead each block.
+	const block = 7
+	const edgesCol = 4
 	if len(tab.Rows)%block != 0 {
 		t.Fatalf("unexpected row count %d", len(tab.Rows))
 	}
 	for b := 0; b < len(tab.Rows); b += block {
-		greedyEdges := atoiMust(t, tab.Rows[b][3])
-		for r := b + 1; r < b+block; r++ {
-			if other := atoiMust(t, tab.Rows[r][3]); other < greedyEdges {
+		greedyEdges := atoiMust(t, tab.Rows[b][edgesCol])
+		if par := atoiMust(t, tab.Rows[b+1][edgesCol]); par != greedyEdges {
+			t.Fatalf("parallel greedy size %d != sequential %d", par, greedyEdges)
+		}
+		for r := b + 2; r < b+block; r++ {
+			if other := atoiMust(t, tab.Rows[r][edgesCol]); other < greedyEdges {
 				t.Fatalf("construction %s beat greedy on edges: %d < %d",
 					tab.Rows[r][2], other, greedyEdges)
 			}

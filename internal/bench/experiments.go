@@ -89,9 +89,10 @@ func E1Figure1() (*Table, error) {
 func E2GeneralGraphs(scale Scale, seed int64) (*Table, error) {
 	tab := &Table{
 		Title:  "E2 (Corollary 4): greedy size/lightness scaling on general graphs",
-		Header: []string{"n", "m", "k", "t", "edges", "edges/n^(1+1/k)", "lightness", "lightness/n^(1/k)"},
+		Header: []string{"n", "m", "k", "t", "edges", "edges/n^(1+1/k)", "lightness", "lightness/n^(1/k)", "seq ms", "par ms"},
 		Caption: "Corollary 4: greedy (2k-1)(1+eps)-spanner has O(n^{1+1/k}) edges and lightness\n" +
-			"O(n^{1/k} eps^{-(3+2/k)}). Normalized columns should stay bounded as n grows.",
+			"O(n^{1/k} eps^{-(3+2/k)}). Normalized columns should stay bounded as n grows.\n" +
+			"seq/par ms compare the sequential scan against the batched-parallel engine (same output).",
 	}
 	rng := rand.New(rand.NewSource(seed))
 	ns := scale.pick([]int{50, 100}, []int{100, 200, 400, 800})
@@ -100,9 +101,20 @@ func E2GeneralGraphs(scale Scale, seed int64) (*Table, error) {
 		t := float64(2*k-1) * (1 + eps)
 		for _, n := range ns {
 			g := gen.ErdosRenyi(rng, n, math.Min(1, 8/float64(n)*4), 0.5, 10)
+			start := time.Now()
 			res, err := core.GreedyGraph(g, t)
 			if err != nil {
 				return nil, err
+			}
+			seqMS := time.Since(start).Seconds() * 1000
+			start = time.Now()
+			par, err := core.GreedyGraphParallel(g, t, 0)
+			if err != nil {
+				return nil, err
+			}
+			parMS := time.Since(start).Seconds() * 1000
+			if par.Size() != res.Size() || par.Weight != res.Weight {
+				return nil, fmt.Errorf("bench: parallel engine diverged on n=%d k=%d", n, k)
 			}
 			light, err := verify.Lightness(res.Graph(), g)
 			if err != nil {
@@ -110,7 +122,7 @@ func E2GeneralGraphs(scale Scale, seed int64) (*Table, error) {
 			}
 			normE := float64(res.Size()) / math.Pow(float64(n), 1+1/float64(k))
 			normL := light / math.Pow(float64(n), 1/float64(k))
-			tab.AddRow(itoa(n), itoa(g.M()), itoa(k), f2(t), itoa(res.Size()), f3(normE), f2(light), f3(normL))
+			tab.AddRow(itoa(n), itoa(g.M()), itoa(k), f2(t), itoa(res.Size()), f3(normE), f2(light), f3(normL), f2(seqMS), f2(parMS))
 		}
 	}
 	return tab, nil
@@ -232,9 +244,10 @@ func E5ApproxGreedy(scale Scale, seed int64) (*Table, error) {
 func E6Comparison(scale Scale, seed int64) (*Table, error) {
 	tab := &Table{
 		Title:  "E6 ([FG05] comparison): greedy vs popular constructions, 2D uniform points",
-		Header: []string{"n", "t", "construction", "edges", "lightness", "max degree"},
+		Header: []string{"n", "t", "construction", "ms", "edges", "lightness", "max degree"},
 		Caption: "Cited folklore: greedy is ~10x sparser and ~30x lighter than other spanners.\n" +
-			"Shapes to check: greedy rows minimize edges and lightness at every (n, t).",
+			"Shapes to check: greedy rows minimize edges and lightness at every (n, t).\n" +
+			"greedy (seq) is the cached-bound scan, greedy (par) the batched-parallel engine.",
 	}
 	rng := rand.New(rand.NewSource(seed))
 	ns := scale.pick([]int{100}, []int{200, 500})
@@ -243,47 +256,70 @@ func E6Comparison(scale Scale, seed int64) (*Table, error) {
 		m := metric.MustEuclidean(pts)
 		for _, t := range []float64{1.5, 2.0} {
 			eps := t - 1
-			add := func(name string, g *graph.Graph, err error) error {
+			// addTimed builds via the supplied constructor, timing just the
+			// construction; taking the builder as a closure (rather than a
+			// shared start-time variable) means a forgotten reset cannot
+			// mis-attribute one construction's time to the next.
+			addTimed := func(name string, build func() (*graph.Graph, error)) error {
+				start := time.Now()
+				g, err := build()
 				if err != nil {
 					return err
 				}
+				ms := time.Since(start).Seconds() * 1000
 				light, lerr := verify.MetricLightness(g, m)
 				if lerr != nil {
 					return lerr
 				}
-				tab.AddRow(itoa(n), f2(t), name, itoa(g.M()), f2(light), itoa(g.MaxDegree()))
+				tab.AddRow(itoa(n), f2(t), name, f2(ms), itoa(g.M()), f2(light), itoa(g.MaxDegree()))
 				return nil
 			}
-			res, err := core.GreedyMetricFast(m, t)
-			if err != nil {
+			if err := addTimed("greedy (seq)", func() (*graph.Graph, error) {
+				res, err := core.GreedyMetricFast(m, t)
+				if err != nil {
+					return nil, err
+				}
+				return res.Graph(), nil
+			}); err != nil {
 				return nil, err
 			}
-			if err := add("greedy", res.Graph(), nil); err != nil {
+			if err := addTimed("greedy (par)", func() (*graph.Graph, error) {
+				res, err := core.GreedyMetric(m, t)
+				if err != nil {
+					return nil, err
+				}
+				return res.Graph(), nil
+			}); err != nil {
 				return nil, err
 			}
 			// Θ and Yao cone counts chosen to meet stretch t.
 			kTheta := conesForTheta(t)
-			tg, err := baseline.ThetaGraph(pts, kTheta)
-			if err := add(fmt.Sprintf("theta(k=%d)", kTheta), tg, err); err != nil {
+			if err := addTimed(fmt.Sprintf("theta(k=%d)", kTheta), func() (*graph.Graph, error) {
+				return baseline.ThetaGraph(pts, kTheta)
+			}); err != nil {
 				return nil, err
 			}
 			kYao := conesForYao(t)
-			yg, err := baseline.YaoGraph(pts, kYao)
-			if err := add(fmt.Sprintf("yao(k=%d)", kYao), yg, err); err != nil {
+			if err := addTimed(fmt.Sprintf("yao(k=%d)", kYao), func() (*graph.Graph, error) {
+				return baseline.YaoGraph(pts, kYao)
+			}); err != nil {
 				return nil, err
 			}
-			wg, err := baseline.WSPDSpanner(pts, eps)
-			if err := add("wspd", wg, err); err != nil {
+			if err := addTimed("wspd", func() (*graph.Graph, error) {
+				return baseline.WSPDSpanner(pts, eps)
+			}); err != nil {
 				return nil, err
 			}
-			gg, err := baseline.GapGreedy(m, t)
-			if err := add("gap-greedy", gg, err); err != nil {
+			if err := addTimed("gap-greedy", func() (*graph.Graph, error) {
+				return baseline.GapGreedy(m, t)
+			}); err != nil {
 				return nil, err
 			}
 			// Baswana–Sen with smallest k whose stretch 2k-1 <= ... use
 			// k=2 (stretch 3) as the coarsest comparable baseline.
-			bs, err := baseline.BaswanaSenMetric(rng, m, 2)
-			if err := add("baswana-sen(k=2)", bs, err); err != nil {
+			if err := addTimed("baswana-sen(k=2)", func() (*graph.Graph, error) {
+				return baseline.BaswanaSenMetric(rng, m, 2)
+			}); err != nil {
 				return nil, err
 			}
 		}

@@ -48,8 +48,23 @@ func (r *Result) Graph() *graph.Graph {
 // Size reports the number of spanner edges.
 func (r *Result) Size() int { return len(r.Edges) }
 
-// MaxDegree reports the maximum vertex degree of the spanner.
-func (r *Result) MaxDegree() int { return r.Graph().MaxDegree() }
+// MaxDegree reports the maximum vertex degree of the spanner, computed
+// directly from the edge list in O(|E|) without materializing the graph.
+func (r *Result) MaxDegree() int {
+	deg := make([]int, r.N)
+	best := 0
+	for _, e := range r.Edges {
+		deg[e.U]++
+		deg[e.V]++
+		if deg[e.U] > best {
+			best = deg[e.U]
+		}
+		if deg[e.V] > best {
+			best = deg[e.V]
+		}
+	}
+	return best
+}
 
 // Lightness returns weight(spanner) / mstWeight for a caller-supplied MST
 // weight of the input, and false when mstWeight is zero.
@@ -96,12 +111,14 @@ func GreedyGraph(g *graph.Graph, t float64) (*Result, error) {
 // GreedyMetric runs the greedy algorithm on a finite metric space by
 // examining all n(n-1)/2 interpoint distances in non-decreasing order, the
 // "path-greedy" of the geometric spanner literature. O(n^2 log n) sort plus
-// one bounded Dijkstra per pair.
+// one bounded distance query per pair; the queries are answered by the
+// batched-parallel engine (GreedyGraphParallel), whose output is identical
+// to the sequential scan.
 func GreedyMetric(m metric.Metric, t float64) (*Result, error) {
 	if !validStretch(t) {
 		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
 	}
-	return GreedyGraph(metric.CompleteGraph(m), t)
+	return GreedyGraphParallel(metric.CompleteGraph(m), t, 0)
 }
 
 // GreedyMetricFast is the cached-distance variant of the metric greedy

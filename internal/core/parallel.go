@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// ParallelOptions configures GreedyGraphParallelOpts.
+type ParallelOptions struct {
+	// Workers is the number of goroutines certifying skips concurrently;
+	// 0 selects GOMAXPROCS. With Workers == 1 the engine degenerates to a
+	// serial scan that still benefits from the bidirectional query
+	// primitive.
+	Workers int
+	// BatchSize fixes the number of sorted edges examined per
+	// certification round. 0 (the default) selects adaptive batching:
+	// the width grows while batches certify cleanly and shrinks when too
+	// many edges fall through to the serial re-check.
+	BatchSize int
+	// Stats, when non-nil, is filled with engine counters for ablations
+	// and benchmarks.
+	Stats *ParallelStats
+}
+
+// ParallelStats reports how the batched engine spent its effort.
+type ParallelStats struct {
+	// Batches is the number of certification rounds.
+	Batches int
+	// CertifiedSkips counts edges whose skip was certified in parallel
+	// against the frozen snapshot.
+	CertifiedSkips int
+	// SerialSkips counts edges that failed certification but were skipped
+	// by the serial re-check (a path appeared within their own batch).
+	SerialSkips int
+	// Kept counts accepted edges.
+	Kept int
+	// FinalBatchSize is the adaptive batch width at the end of the scan.
+	FinalBatchSize int
+}
+
+// Batch-width bounds for the adaptive policy.
+const (
+	minBatch = 32
+	maxBatch = 8192
+)
+
+// GreedyGraphParallel computes the greedy t-spanner of g like GreedyGraph,
+// but fans the per-edge distance queries out over `workers` goroutines
+// (0 selects GOMAXPROCS). The output — edge sequence, weight, and
+// EdgesExamined — is deterministic (independent of workers, batching, and
+// scheduling) and identical to GreedyGraph's, with one caveat: the
+// bidirectional search sums path weights in a different order than the
+// one-sided search, so the two engines could in principle disagree on an
+// edge whose alternative-path length ties t*w within a float64 ulp. No
+// such tie occurs in any of the repo's test families; the equivalence
+// tests assert exact identity.
+//
+// The engine scans the sorted edge list in batches. Within a batch, every
+// edge (u, v) is tested concurrently against the *frozen* spanner snapshot
+// H0 taken at the batch boundary: if delta_{H0}(u, v) <= t*w(u, v) the skip
+// is certified once and for all, because the sequential algorithm would
+// test the edge against a superset of H0 and spanner distances only shrink
+// as edges are added. Edges the snapshot cannot certify are re-checked
+// serially, in exact greedy order, against the live spanner — so every
+// accept/reject decision matches the sequential scan bit for bit. Distance
+// queries use bounded bidirectional Dijkstra (Searcher.BidirDistanceWithin),
+// which explores two balls of radius ~t*w/2 instead of one of radius t*w.
+func GreedyGraphParallel(g *graph.Graph, t float64, workers int) (*Result, error) {
+	return GreedyGraphParallelOpts(g, t, ParallelOptions{Workers: workers})
+}
+
+// GreedyGraphParallelOpts is GreedyGraphParallel with explicit batching
+// controls; see ParallelOptions.
+func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*Result, error) {
+	if !validStretch(t) {
+		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.N()
+	edges := g.SortedEdges()
+	res := &Result{N: n, Stretch: t, EdgesExamined: len(edges)}
+	h := graph.New(n)
+	serial := graph.NewSearcher(n)
+	stats := opts.Stats
+	if stats == nil {
+		stats = &ParallelStats{}
+	}
+	*stats = ParallelStats{}
+
+	accept := func(e graph.Edge) {
+		h.MustAddEdge(e.U, e.V, e.W)
+		res.Edges = append(res.Edges, e)
+		res.Weight += e.W
+		stats.Kept++
+	}
+
+	if workers == 1 {
+		// Serial fast path: no snapshot pass, every edge tested once
+		// against the live spanner, exactly like GreedyGraph but with the
+		// bidirectional primitive.
+		stats.FinalBatchSize = len(edges)
+		for _, e := range edges {
+			if _, within := serial.BidirDistanceWithin(h, e.U, e.V, t*e.W); within {
+				stats.SerialSkips++
+				continue
+			}
+			accept(e)
+		}
+		return res, nil
+	}
+
+	pool := make([]*graph.Searcher, workers)
+	for i := range pool {
+		pool[i] = graph.NewSearcher(n)
+	}
+	certified := make([]bool, len(edges))
+
+	batch := opts.BatchSize
+	adaptive := batch <= 0
+	if adaptive {
+		batch = minBatch
+		if w := 4 * workers; w > batch {
+			batch = w
+		}
+	}
+
+	for lo := 0; lo < len(edges); {
+		hi := lo + batch
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		stats.Batches++
+
+		// Phase 1: certify skips in parallel against the frozen h. The
+		// workers only read h and write disjoint certified[i] slots, so
+		// the only synchronization needed is the join below.
+		var wg sync.WaitGroup
+		span := hi - lo
+		chunk := (span + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			start, end := lo+w*chunk, lo+(w+1)*chunk
+			if start >= hi {
+				break
+			}
+			if end > hi {
+				end = hi
+			}
+			wg.Add(1)
+			go func(search *graph.Searcher, start, end int) {
+				defer wg.Done()
+				for i := start; i < end; i++ {
+					e := edges[i]
+					_, within := search.BidirDistanceWithin(h, e.U, e.V, t*e.W)
+					certified[i] = within
+				}
+			}(pool[w], start, end)
+		}
+		wg.Wait()
+
+		// Phase 2: replay the uncertified survivors serially in greedy
+		// order against the live spanner. A survivor may still be skipped
+		// here when an edge accepted earlier in this same batch created a
+		// path for it — exactly as the sequential scan would decide.
+		survivors := 0
+		for i := lo; i < hi; i++ {
+			if certified[i] {
+				stats.CertifiedSkips++
+				continue
+			}
+			survivors++
+			e := edges[i]
+			if _, within := serial.BidirDistanceWithin(h, e.U, e.V, t*e.W); within {
+				stats.SerialSkips++
+				continue
+			}
+			accept(e)
+		}
+
+		lo = hi
+		if adaptive {
+			// Survivors cost two queries (certify + re-check), certified
+			// skips one. Widen while batches certify almost everything —
+			// wider batches amortize the pool fan-out — and narrow when
+			// the snapshot goes stale too fast to certify.
+			switch {
+			case survivors*4 <= span && batch < maxBatch:
+				batch *= 2
+			case survivors*2 > span && batch > minBatch:
+				batch /= 2
+			}
+		}
+	}
+	stats.FinalBatchSize = batch
+	return res, nil
+}

@@ -4,6 +4,140 @@ import (
 	"repro/internal/pq"
 )
 
+// bidirScratch holds the reusable state of a bidirectional Dijkstra: one
+// distance array, heap, and touched-list per search direction. Like
+// dijkstraScratch it is sized once for a fixed vertex count and reset in
+// time proportional to the vertices actually visited, so repeated queries
+// (the greedy main loop issues one per candidate edge) allocate nothing.
+type bidirScratch struct {
+	hf, hb             *pq.IndexedMinHeap
+	distF, distB       []float64
+	touchedF, touchedB []int32
+}
+
+func newBidirScratch(n int) *bidirScratch {
+	s := &bidirScratch{
+		hf:    pq.NewIndexedMinHeap(n),
+		hb:    pq.NewIndexedMinHeap(n),
+		distF: make([]float64, n),
+		distB: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		s.distF[i] = Inf
+		s.distB[i] = Inf
+	}
+	return s
+}
+
+// reset restores the touched entries to their pristine state.
+func (s *bidirScratch) reset() {
+	for _, v := range s.touchedF {
+		s.distF[v] = Inf
+	}
+	for _, v := range s.touchedB {
+		s.distB[v] = Inf
+	}
+	s.touchedF = s.touchedF[:0]
+	s.touchedB = s.touchedB[:0]
+	s.hf.Reset()
+	s.hb.Reset()
+}
+
+// bidirDistanceWithin grows Dijkstra balls from src and dst simultaneously,
+// pruning any tentative distance above limit, and returns the meeting
+// distance. Each side explores a ball of radius roughly limit/2 instead of
+// the one-sided ball of radius limit, which on expander-like and doubling
+// instances is a quadratic reduction in settled vertices.
+//
+// The returned value is the exact shortest-path distance whenever that
+// distance is at most limit; values above limit (including Inf) only mean
+// "no path within limit exists". The scratch buffers are left dirty; the
+// caller resets.
+//
+// Termination uses the symmetric stopping rule: once the sum of the two
+// frontier minima reaches the best meeting distance found — or exceeds
+// limit, so no admissible meeting remains — no shorter path exists. Any
+// path of length <= limit has every forward prefix and backward suffix
+// within the limit, so the pruning never hides an admissible path.
+func (g *Graph) bidirDistanceWithin(src, dst int, limit float64, s *bidirScratch) float64 {
+	if src == dst {
+		return 0
+	}
+	s.distF[src] = 0
+	s.distB[dst] = 0
+	s.touchedF = append(s.touchedF, int32(src))
+	s.touchedB = append(s.touchedB, int32(dst))
+	s.hf.Push(src, 0)
+	s.hb.Push(dst, 0)
+
+	best := Inf
+	for s.hf.Len() > 0 && s.hb.Len() > 0 {
+		_, fMin := s.hf.Peek()
+		_, bMin := s.hb.Peek()
+		if fMin+bMin >= best || fMin+bMin > limit {
+			break
+		}
+		// Expand the side with the smaller frontier minimum.
+		if fMin <= bMin {
+			v, dv := s.hf.Pop()
+			if s.distB[v] < Inf {
+				if cand := dv + s.distB[v]; cand < best {
+					best = cand
+				}
+			}
+			for _, h := range g.adj[v] {
+				u := int(h.to)
+				nd := dv + h.w
+				if nd > limit {
+					continue
+				}
+				if nd < s.distF[u] {
+					if s.distF[u] == Inf {
+						s.touchedF = append(s.touchedF, int32(u))
+					}
+					s.distF[u] = nd
+					s.hf.Push(u, nd)
+				}
+			}
+		} else {
+			v, dv := s.hb.Pop()
+			if s.distF[v] < Inf {
+				if cand := dv + s.distF[v]; cand < best {
+					best = cand
+				}
+			}
+			for _, h := range g.adj[v] {
+				u := int(h.to)
+				nd := dv + h.w
+				if nd > limit {
+					continue
+				}
+				if nd < s.distB[u] {
+					if s.distB[u] == Inf {
+						s.touchedB = append(s.touchedB, int32(u))
+					}
+					s.distB[u] = nd
+					s.hb.Push(u, nd)
+				}
+			}
+		}
+	}
+	return best
+}
+
+// BidirDistanceWithin reports the shortest-path distance between src and dst
+// if it is at most limit, and (Inf, false) otherwise, like DistanceWithin
+// but searching from both endpoints at once. Allocates per call; use
+// Searcher.BidirDistanceWithin on hot paths.
+func (g *Graph) BidirDistanceWithin(src, dst int, limit float64) (float64, bool) {
+	s := newBidirScratch(g.N())
+	d := g.bidirDistanceWithin(src, dst, limit, s)
+	if d < Inf && d <= limit {
+		return d, true
+	}
+	return Inf, false
+}
+
 // BidirectionalDistance computes the shortest-path distance between src and
 // dst by growing Dijkstra balls from both endpoints simultaneously and
 // stopping when the frontiers certify the meeting distance. On spanner-like
@@ -11,72 +145,5 @@ import (
 // search — it is the query primitive a distance oracle built on a spanner
 // would use. Returns Inf if dst is unreachable.
 func (g *Graph) BidirectionalDistance(src, dst int) float64 {
-	if src == dst {
-		return 0
-	}
-	n := g.N()
-	distF := make([]float64, n)
-	distB := make([]float64, n)
-	for i := 0; i < n; i++ {
-		distF[i] = Inf
-		distB[i] = Inf
-	}
-	doneF := make([]bool, n)
-	doneB := make([]bool, n)
-	hf := pq.NewIndexedMinHeap(n)
-	hb := pq.NewIndexedMinHeap(n)
-	distF[src] = 0
-	distB[dst] = 0
-	hf.Push(src, 0)
-	hb.Push(dst, 0)
-
-	best := Inf
-	for hf.Len() > 0 && hb.Len() > 0 {
-		// Standard stopping rule: once the sum of the two frontier minima
-		// reaches the best meeting distance found, no shorter path exists.
-		_, fMin := hf.Peek()
-		_, bMin := hb.Peek()
-		if fMin+bMin >= best {
-			break
-		}
-		// Expand the side with the smaller frontier.
-		if fMin <= bMin {
-			v, dv := hf.Pop()
-			if doneF[v] {
-				continue
-			}
-			doneF[v] = true
-			if distB[v] < Inf {
-				if cand := dv + distB[v]; cand < best {
-					best = cand
-				}
-			}
-			for _, h := range g.adj[v] {
-				u := int(h.to)
-				if nd := dv + h.w; nd < distF[u] {
-					distF[u] = nd
-					hf.Push(u, nd)
-				}
-			}
-		} else {
-			v, dv := hb.Pop()
-			if doneB[v] {
-				continue
-			}
-			doneB[v] = true
-			if distF[v] < Inf {
-				if cand := dv + distF[v]; cand < best {
-					best = cand
-				}
-			}
-			for _, h := range g.adj[v] {
-				u := int(h.to)
-				if nd := dv + h.w; nd < distB[u] {
-					distB[u] = nd
-					hb.Push(u, nd)
-				}
-			}
-		}
-	}
-	return best
+	return g.bidirDistanceWithin(src, dst, Inf, newBidirScratch(g.N()))
 }

@@ -116,9 +116,6 @@ func (g *Graph) dijkstra(src, dst int, limit float64, scratch *dijkstraScratch) 
 	s.heap.Push(src, 0)
 	for s.heap.Len() > 0 {
 		u, du := s.heap.Pop()
-		if du > s.dist[u] {
-			continue // stale entry (cannot happen with indexed heap, kept for safety)
-		}
 		if u == dst {
 			break
 		}
@@ -138,10 +135,8 @@ func (g *Graph) dijkstra(src, dst int, limit float64, scratch *dijkstraScratch) 
 			}
 		}
 	}
-	if scratch != nil {
-		// Caller owns the buffers; hand back views without copying.
-		return &ShortestPaths{Source: src, Dist: s.dist, Parent: s.parent}
-	}
+	// With scratch the caller owns the buffers and must reset; either way
+	// the result is a view, not a copy.
 	return &ShortestPaths{Source: src, Dist: s.dist, Parent: s.parent}
 }
 

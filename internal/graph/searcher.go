@@ -10,7 +10,10 @@ package graph
 // count matches the Searcher's.
 type Searcher struct {
 	scratch *dijkstraScratch
-	n       int
+	// bidir is allocated on first use so Searchers that only ever run
+	// one-sided queries don't pay for the second set of buffers.
+	bidir *bidirScratch
+	n     int
 }
 
 // NewSearcher returns a Searcher for graphs on n vertices.
@@ -29,6 +32,27 @@ func (s *Searcher) DistanceWithin(g *Graph, src, dst int, limit float64) (float6
 	d := s.scratch.dist[dst]
 	s.scratch.reset()
 	if d <= limit {
+		return d, true
+	}
+	return Inf, false
+}
+
+// BidirDistanceWithin reports the shortest-path distance from src to dst in
+// g if it is at most limit, and (Inf, false) otherwise, growing bounded
+// Dijkstra balls from both endpoints at once. Each side explores radius
+// roughly limit/2, so on graphs whose balls grow with radius it settles far
+// fewer vertices than the one-sided DistanceWithin. This is the greedy
+// engine's query primitive; it is allocation-free after the first call.
+func (s *Searcher) BidirDistanceWithin(g *Graph, src, dst int, limit float64) (float64, bool) {
+	if src == dst {
+		return 0, true
+	}
+	if s.bidir == nil {
+		s.bidir = newBidirScratch(s.n)
+	}
+	d := g.bidirDistanceWithin(src, dst, limit, s.bidir)
+	s.bidir.reset()
+	if d < Inf && d <= limit {
 		return d, true
 	}
 	return Inf, false
