@@ -8,6 +8,8 @@
 //	greedy -t 1.5 -points pts.txt -algo approx   # approximate-greedy
 //	greedy -t 3 -graph edges.txt -workers 4      # batched-parallel engine
 //	greedy -t 3 -graph edges.txt -workers -1     # sequential reference scan
+//	greedy -t 1.5 -points pts.txt -workers 4     # parallel cached-bound metric engine
+//	greedy -t 1.5 -points pts.txt -workers -1    # serial cached-bound reference
 //
 // Graph files list one edge per line as "u v w" with integer vertex ids
 // (vertex count is inferred as max id + 1). Point files list one point per
@@ -46,15 +48,15 @@ func run(args []string, out *os.File) error {
 	graphPath := fs.String("graph", "", "path to an edge-list graph file")
 	pointsPath := fs.String("points", "", "path to a point-set file")
 	algo := fs.String("algo", "greedy", "construction: greedy or approx (points only)")
-	workers := fs.Int("workers", 0, "parallel greedy workers, -graph only (0 = GOMAXPROCS, -1 = sequential engine)")
+	workers := fs.Int("workers", 0, "parallel greedy workers (0 = GOMAXPROCS, -1 = sequential reference engine)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	switch {
 	case *graphPath != "" && *pointsPath != "":
 		return fmt.Errorf("use exactly one of -graph or -points")
-	case *pointsPath != "" && *workers != 0:
-		return fmt.Errorf("-workers applies to -graph input only")
+	case *pointsPath != "" && *algo == "approx" && *workers != 0:
+		return fmt.Errorf("-workers applies to the greedy constructions only")
 	case *graphPath != "":
 		g, err := readGraph(*graphPath)
 		if err != nil {
@@ -84,7 +86,15 @@ func run(args []string, out *os.File) error {
 		}
 		switch *algo {
 		case "greedy":
-			res, err := core.GreedyMetricFast(m, *t)
+			// The parallel metric engine produces the same spanner as the
+			// serial cached-bound scan; -workers -1 keeps the reference
+			// path reachable for cross-checking.
+			var res *core.Result
+			if *workers < 0 {
+				res, err = core.GreedyMetricFastSerial(m, *t)
+			} else {
+				res, err = core.GreedyMetricFastParallel(m, *t, *workers)
+			}
 			if err != nil {
 				return err
 			}

@@ -54,6 +54,27 @@ func TestRunPointsInput(t *testing.T) {
 	}
 }
 
+func TestRunPointsWorkers(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&sb, "%.4f %.4f\n", float64(i%6)*0.17, float64(i/6)*0.23)
+	}
+	path := writeTemp(t, "p.txt", sb.String())
+	ref, err := runCapture(t, []string{"-t", "1.5", "-points", path, "-workers", "-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"0", "1", "4"} {
+		got, err := runCapture(t, []string{"-t", "1.5", "-points", path, "-workers", w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Fatalf("-workers %s diverged from serial reference:\n%s\nvs\n%s", w, got, ref)
+		}
+	}
+}
+
 func TestRunPointsApprox(t *testing.T) {
 	var sb strings.Builder
 	for i := 0; i < 20; i++ {
@@ -75,10 +96,11 @@ func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{},                          // no input
 		{"-graph", g, "-points", p}, // both inputs
-		{"-graph", filepath.Join(t.TempDir(), "missing")}, // unreadable
-		{"-t", "0.5", "-graph", g},                        // bad stretch
-		{"-points", p, "-algo", "nope"},                   // unknown algo
-		{"-points", p, "-algo", "approx", "-t", "3"},      // approx needs t < 2
+		{"-graph", filepath.Join(t.TempDir(), "missing")},               // unreadable
+		{"-t", "0.5", "-graph", g},                                      // bad stretch
+		{"-points", p, "-algo", "nope"},                                 // unknown algo
+		{"-points", p, "-algo", "approx", "-t", "3"},                    // approx needs t < 2
+		{"-points", p, "-algo", "approx", "-t", "1.5", "-workers", "4"}, // -workers is greedy-only
 	}
 	for _, args := range cases {
 		if _, err := runCapture(t, args); err == nil {

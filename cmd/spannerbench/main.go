@@ -5,15 +5,21 @@
 //
 // Usage:
 //
-//	spannerbench [-exp all|e1|...|e12|a1..a4|ablations|greedybench] [-scale small|full] [-seed N]
+//	spannerbench [-exp all|e1|...|e12|a1..a5|ablations|greedybench|greedymetricbench] [-scale small|full] [-seed N]
 //
 // The "full" scale is what EXPERIMENTS.md records; "small" finishes in a
 // few seconds.
 //
 // -exp greedybench times the sequential greedy scan against the
-// batched-parallel engine (repeated runs, median + spread, outputs
+// batched-parallel graph engine (repeated runs, median + spread, outputs
 // compared edge-for-edge) and writes the machine-readable report to the
 // -json path (default BENCH_greedy.json).
+//
+// -exp greedymetricbench does the same for the metric path: the serial
+// cached-bound scan against the batched-parallel metric engine on
+// Euclidean and graph-induced metrics, writing BENCH_greedymetric.json by
+// default. -workers restricts its parallel sweep to one worker count
+// (0 sweeps 1, 4, and GOMAXPROCS).
 package main
 
 import (
@@ -34,11 +40,12 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("spannerbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a4, ablations, greedybench")
+	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench")
 	scaleFlag := fs.String("scale", "small", "experiment scale: small or full")
 	seed := fs.Int64("seed", 42, "random seed for workload generation")
-	jsonPath := fs.String("json", "BENCH_greedy.json", "output path for the greedybench report")
-	reps := fs.Int("reps", 3, "repetitions per timing in greedybench (min 3)")
+	jsonPath := fs.String("json", "", "output path for the greedybench/greedymetricbench report (default BENCH_greedy.json / BENCH_greedymetric.json)")
+	reps := fs.Int("reps", 3, "repetitions per timing in greedybench/greedymetricbench (min 3)")
+	workers := fs.Int("workers", 0, "metric-path workers for greedymetricbench (0 = sweep 1, 4, GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,20 +77,38 @@ func run(args []string) error {
 		"a2":  func() (*bench.Table, error) { return bench.A2BucketWidth(scale, *seed+8) },
 		"a3":  func() (*bench.Table, error) { return bench.A3Certification(scale, *seed+9) },
 		"a4":  func() (*bench.Table, error) { return bench.A4ParallelBatchWidth(scale, *seed+12) },
+		"a5":  func() (*bench.Table, error) { return bench.A5MetricBatchWidth(scale, *seed+13) },
+	}
+
+	// The engine benchmarks print their table and additionally write a
+	// machine-readable JSON report.
+	writeReport := func(defaultPath string, tab *bench.Table, report interface{ WriteJSON(string) error }, err error) error {
+		if err != nil {
+			return err
+		}
+		path := *jsonPath
+		if path == "" {
+			path = defaultPath
+		}
+		tab.Fprint(os.Stdout)
+		if err := report.WriteJSON(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stdout, "\nwrote %s\n", path)
+		return nil
 	}
 
 	name := strings.ToLower(*exp)
 	if name == "greedybench" {
 		tab, report, err := bench.GreedyBench(scale, *seed, *reps)
-		if err != nil {
-			return err
+		return writeReport("BENCH_greedy.json", tab, report, err)
+	}
+	if name == "greedymetricbench" {
+		if *workers < 0 {
+			return fmt.Errorf("-workers must be >= 0 (0 sweeps 1, 4, GOMAXPROCS)")
 		}
-		tab.Fprint(os.Stdout)
-		if err := report.WriteJSON(*jsonPath); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stdout, "\nwrote %s\n", *jsonPath)
-		return nil
+		tab, report, err := bench.GreedyMetricBench(scale, *seed, *reps, *workers)
+		return writeReport("BENCH_greedymetric.json", tab, report, err)
 	}
 	if name == "all" || name == "ablations" {
 		var (
@@ -107,7 +132,7 @@ func run(args []string) error {
 	}
 	r, ok := runners[name]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want all, e1..e12, a1..a4, ablations, or greedybench)", *exp)
+		return fmt.Errorf("unknown experiment %q (want all, e1..e12, a1..a5, ablations, greedybench, or greedymetricbench)", *exp)
 	}
 	tab, err := r()
 	if err != nil {

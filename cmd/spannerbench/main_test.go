@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunFlagValidation(t *testing.T) {
 	if err := run([]string{"-scale", "bogus"}); err == nil {
@@ -24,6 +28,22 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunSmallAblation(t *testing.T) {
 	if err := run([]string{"-exp", "a2", "-scale", "small"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMetricBatchAblation(t *testing.T) {
+	if err := run([]string{"-exp", "a5", "-scale", "small"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGreedyMetricBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_greedymetric.json")
+	if err := run([]string{"-exp", "greedymetricbench", "-scale", "small", "-workers", "2", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,129 @@
+package spanner_test
+
+import (
+	"fmt"
+
+	spanner "repro"
+)
+
+// ExampleGreedy builds the greedy 2-spanner of a small weighted graph:
+// the unit square survives, and the heavier diagonal is pruned because the
+// two-hop path 0-1-2 already realizes stretch 2/1.5 <= 2.
+func ExampleGreedy() {
+	g := spanner.NewGraph(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 0, 1)
+	g.MustAddEdge(0, 2, 1.5)
+	res, err := spanner.Greedy(g, 2)
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range res.Edges {
+		fmt.Printf("%d-%d w=%g\n", e.U, e.V, e.W)
+	}
+	fmt.Printf("size=%d weight=%g\n", res.Size(), res.Weight)
+	// Output:
+	// 0-1 w=1
+	// 0-3 w=1
+	// 1-2 w=1
+	// 2-3 w=1
+	// size=4 weight=4
+}
+
+// ExampleGreedyParallel runs the batched-parallel graph engine and shows
+// its defining property: the output is bit-identical to the sequential
+// scan, for any worker count.
+func ExampleGreedyParallel() {
+	g := spanner.NewGraph(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 0, 1)
+	g.MustAddEdge(0, 2, 1.5)
+	seq, err := spanner.Greedy(g, 2)
+	if err != nil {
+		panic(err)
+	}
+	par, err := spanner.GreedyParallel(g, 2, 4)
+	if err != nil {
+		panic(err)
+	}
+	identical := seq.Size() == par.Size() && seq.Weight == par.Weight
+	for i := range seq.Edges {
+		identical = identical && seq.Edges[i] == par.Edges[i]
+	}
+	fmt.Println("identical output:", identical)
+	// Output:
+	// identical output: true
+}
+
+// ExampleGreedyMetricFast spans a finite metric space — four points on a
+// line — with the cached-bound path-greedy: only the consecutive gaps are
+// kept, since every longer pair is 2-spanned by the chain between them.
+func ExampleGreedyMetricFast() {
+	m, err := spanner.NewEuclidean([][]float64{{0}, {1}, {2}, {4}})
+	if err != nil {
+		panic(err)
+	}
+	res, err := spanner.GreedyMetricFast(m, 2)
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range res.Edges {
+		fmt.Printf("%d-%d w=%g\n", e.U, e.V, e.W)
+	}
+	// Output:
+	// 0-1 w=1
+	// 1-2 w=1
+	// 2-3 w=2
+}
+
+// ExampleGreedyMetricParallel runs the batched cached-bound metric engine
+// with an explicit worker count; like the graph engine, its output is
+// bit-identical to the serial scan.
+func ExampleGreedyMetricParallel() {
+	m, err := spanner.NewEuclidean([][]float64{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}})
+	if err != nil {
+		panic(err)
+	}
+	seq, err := spanner.GreedyMetricFast(m, 1.5)
+	if err != nil {
+		panic(err)
+	}
+	par, err := spanner.GreedyMetricParallel(m, 1.5, 4)
+	if err != nil {
+		panic(err)
+	}
+	identical := seq.Size() == par.Size() && seq.Weight == par.Weight
+	for i := range seq.Edges {
+		identical = identical && seq.Edges[i] == par.Edges[i]
+	}
+	fmt.Printf("size=%d identical=%v\n", par.Size(), identical)
+	// Output:
+	// size=4 identical=true
+}
+
+// ExampleVerifySpanner audits a constructed spanner against the paper's
+// Section 2 definition and reports the worst stretch over the input's
+// edges — here the pruned diagonal, detoured by the two-hop unit path.
+func ExampleVerifySpanner() {
+	g := spanner.NewGraph(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 0, 1)
+	g.MustAddEdge(0, 2, 1.5)
+	res, err := spanner.Greedy(g, 2)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := spanner.VerifySpanner(res.Graph(), g, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("max stretch %.3f at pair (%d, %d)\n", rep.MaxStretch, rep.WorstU, rep.WorstV)
+	// Output:
+	// max stretch 1.333 at pair (0, 2)
+}

@@ -170,7 +170,63 @@ func A4ParallelBatchWidth(scale Scale, seed int64) (*Table, error) {
 	return tab, nil
 }
 
-// Ablations runs A1–A4 in order.
+// A5MetricBatchWidth sweeps the batch width of the batched-parallel metric
+// engine on a Euclidean point set and a graph-induced distance matrix.
+// Wider batches amortize the row-refresh fan-out but certify against a
+// staler snapshot, pushing pairs into the serial re-check; width 0 is the
+// adaptive policy, which should land near the best fixed width without
+// tuning on both metric kinds.
+func A5MetricBatchWidth(scale Scale, seed int64) (*Table, error) {
+	tab := &Table{
+		Title:  "A5 (ablation): batched-parallel metric engine batch width",
+		Header: []string{"kind", "n", "batch", "ms", "batches", "cached", "certified", "serial skips", "par refresh", "ser refresh", "kept", "final width"},
+		Caption: "cached = skips certified by an existing bound with no search; certified = skips proven\n" +
+			"by a parallel row refresh on the frozen snapshot; serial skips fell through to the\n" +
+			"ordered re-check. batch=adaptive grows/shrinks with the certify rate.",
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 150
+	if scale == Full {
+		n = 500
+	}
+	type instance struct {
+		kind string
+		m    metric.Metric
+		t    float64
+	}
+	instances := []instance{
+		{"euclidean", metric.MustEuclidean(gen.UniformPoints(rng, n, 2)), 1.5},
+	}
+	induced, err := metric.FromGraph(gen.ErdosRenyi(rng, n*2/3, 0.1, 0.5, 10))
+	if err != nil {
+		return nil, err
+	}
+	instances = append(instances, instance{"graph-induced", induced, 3})
+	for _, inst := range instances {
+		for _, batch := range []int{32, 128, 512, 2048, 0} {
+			name := itoa(batch)
+			if batch == 0 {
+				name = "adaptive"
+			}
+			var stats core.MetricParallelStats
+			start := time.Now()
+			_, err := core.GreedyMetricFastParallelOpts(inst.m, inst.t, core.MetricParallelOptions{
+				Workers: 4, BatchSize: batch, Stats: &stats,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ms := time.Since(start).Seconds() * 1000
+			tab.AddRow(inst.kind, itoa(inst.m.N()), name, f2(ms), itoa(stats.Batches),
+				itoa(stats.CachedSkips), itoa(stats.CertifiedSkips), itoa(stats.SerialSkips),
+				itoa(stats.ParallelRefreshes), itoa(stats.SerialRefreshes), itoa(stats.Kept),
+				itoa(stats.FinalBatchSize))
+		}
+	}
+	return tab, nil
+}
+
+// Ablations runs A1–A5 in order.
 func Ablations(scale Scale, seed int64) ([]*Table, error) {
 	var out []*Table
 	t1, err := A1Deputies(scale)
@@ -192,5 +248,10 @@ func Ablations(scale Scale, seed int64) ([]*Table, error) {
 	if err != nil {
 		return out, err
 	}
-	return append(out, t4), nil
+	out = append(out, t4)
+	t5, err := A5MetricBatchWidth(scale, seed+3)
+	if err != nil {
+		return out, err
+	}
+	return append(out, t5), nil
 }

@@ -1,7 +1,3 @@
-// Package bench drives the experiment suite E1–E10 defined in DESIGN.md:
-// each experiment reproduces one figure, corollary, or cited empirical
-// claim of the paper as a table of measurements. The same drivers back the
-// testing.B benchmarks in the repository root and the cmd/spannerbench CLI.
 package bench
 
 import (

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/metric"
+)
+
+// The greedy-metric benchmark compares the serial cached-bound metric scan
+// (core.GreedyMetricFastSerial) against the batched-parallel metric engine
+// (core.GreedyMetricFastParallel, concurrent bound-matrix row refreshes)
+// and emits a machine-readable report, following the same repeated-run
+// discipline as GreedyBench: every timing is measured reps times (>= 3),
+// the median is reported alongside the raw samples, run-to-run spread is
+// recorded, and the engines' outputs are compared edge-for-edge before any
+// speedup is claimed.
+
+// GreedyMetricBenchCase is the report for one metric instance.
+type GreedyMetricBenchCase struct {
+	// Kind names the metric family: "euclidean" or "graph-induced".
+	Kind               string                   `json:"kind"`
+	N                  int                      `json:"n"`
+	Pairs              int                      `json:"pairs"`
+	Stretch            float64                  `json:"stretch"`
+	SpannerEdges       int                      `json:"spanner_edges"`
+	SequentialMS       []float64                `json:"sequential_ms"`
+	SequentialMedianMS float64                  `json:"sequential_median_ms"`
+	SequentialSpread   float64                  `json:"sequential_spread_pct"`
+	Parallel           []GreedyBenchParallelRun `json:"parallel"`
+	// IdenticalOutput records that every parallel run reproduced the
+	// sequential engine's edge sequence and weight exactly.
+	IdenticalOutput bool `json:"identical_output"`
+}
+
+// GreedyMetricBenchReport is the top-level BENCH_greedymetric.json document.
+type GreedyMetricBenchReport struct {
+	GoVersion  string                  `json:"go_version"`
+	GOMAXPROCS int                     `json:"gomaxprocs"`
+	Date       string                  `json:"date"`
+	Reps       int                     `json:"reps"`
+	Cases      []GreedyMetricBenchCase `json:"cases"`
+}
+
+// GreedyMetricBench times serial vs parallel cached-bound greedy
+// construction on Euclidean and graph-induced metrics and returns both a
+// printable table and the JSON report. workers > 0 restricts the parallel
+// sweep to that single worker count (the -workers flag of cmd/spannerbench);
+// workers <= 0 sweeps {1, 4, GOMAXPROCS}. Small scale runs n≈200
+// instances; Full adds the n=1000 Euclidean instance the acceptance
+// benchmark tracks.
+func GreedyMetricBench(scale Scale, seed int64, reps, workers int) (*Table, *GreedyMetricBenchReport, error) {
+	if reps < 3 {
+		reps = 3
+	}
+	tab := &Table{
+		Title:  "GREEDY-METRIC-BENCH: serial vs batched-parallel cached-bound metric engine",
+		Header: []string{"kind", "n", "pairs", "engine", "workers", "median ms", "spread %", "speedup", "identical"},
+		Caption: "Serial = cached bound matrix with one-row-at-a-time refreshes; parallel = weight-batched\n" +
+			"scan with concurrent row refreshes against a frozen snapshot. Outputs compared edge-for-edge.",
+	}
+	report := &GreedyMetricBenchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Reps:       reps,
+	}
+	type instance struct {
+		kind string
+		m    metric.Metric
+		t    float64
+	}
+	rng := rand.New(rand.NewSource(seed))
+	instances := []instance{
+		{"euclidean", metric.MustEuclidean(gen.UniformPoints(rng, 220, 2)), 1.5},
+	}
+	induced, err := metric.FromGraph(gen.ErdosRenyi(rng, 160, 0.1, 0.5, 10))
+	if err != nil {
+		return nil, nil, err
+	}
+	instances = append(instances, instance{"graph-induced", induced, 3})
+	if scale == Full {
+		instances = append(instances,
+			instance{"euclidean", metric.MustEuclidean(gen.UniformPoints(rng, 1000, 2)), 1.5})
+	}
+	workerSets := []int{1, 4, runtime.GOMAXPROCS(0)}
+	if workers > 0 {
+		workerSets = []int{workers}
+	}
+	for _, inst := range instances {
+		n := inst.m.N()
+		c := GreedyMetricBenchCase{
+			Kind: inst.kind, N: n, Pairs: n * (n - 1) / 2,
+			Stretch: inst.t, IdenticalOutput: true,
+		}
+		var ref *core.Result
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			res, err := core.GreedyMetricFastSerial(inst.m, inst.t)
+			if err != nil {
+				return nil, nil, err
+			}
+			c.SequentialMS = append(c.SequentialMS, time.Since(start).Seconds()*1000)
+			ref = res
+		}
+		c.SpannerEdges = ref.Size()
+		c.SequentialMedianMS = median(c.SequentialMS)
+		c.SequentialSpread = spreadPct(c.SequentialMS)
+		tab.AddRow(inst.kind, itoa(n), itoa(c.Pairs), "serial", "-",
+			f2(c.SequentialMedianMS), f2(c.SequentialSpread), "1.00", "ref")
+
+		seen := map[int]bool{}
+		for _, w := range workerSets {
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			run := GreedyBenchParallelRun{Workers: w}
+			identical := true
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				res, err := core.GreedyMetricFastParallel(inst.m, inst.t, w)
+				if err != nil {
+					return nil, nil, err
+				}
+				run.MS = append(run.MS, time.Since(start).Seconds()*1000)
+				identical = identical && sameOutput(ref, res)
+			}
+			run.MedianMS = median(run.MS)
+			run.SpreadPct = spreadPct(run.MS)
+			run.Speedup = c.SequentialMedianMS / run.MedianMS
+			c.IdenticalOutput = c.IdenticalOutput && identical
+			c.Parallel = append(c.Parallel, run)
+			tab.AddRow(inst.kind, itoa(n), itoa(c.Pairs), "parallel", itoa(w),
+				f2(run.MedianMS), f2(run.SpreadPct), f2(run.Speedup), yesNo(identical))
+		}
+		report.Cases = append(report.Cases, c)
+	}
+	return tab, report, nil
+}
+
+// WriteJSON writes the report to path, pretty-printed.
+func (r *GreedyMetricBenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

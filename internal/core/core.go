@@ -1,15 +1,3 @@
-// Package core implements the paper's central object: the greedy spanner of
-// Althöfer et al. (Algorithm 1 in Filtser–Solomon, "The Greedy Spanner is
-// Existentially Optimal", PODC 2016), for both weighted graphs and finite
-// metric spaces, together with the verifiers that realize the paper's
-// optimality arguments — the Lemma 3 self-spanner property, the Lemma 8
-// size-injection argument, and the MST-containment Observation 2.
-//
-// The greedy algorithm examines edges in non-decreasing weight order and
-// keeps edge (u, v) iff the current spanner distance delta_H(u, v) exceeds
-// t * w(u, v). Distance tests use distance-bounded Dijkstra so that each
-// query explores only the ball of radius t*w around u in the partial
-// spanner.
 package core
 
 import (
@@ -110,26 +98,33 @@ func GreedyGraph(g *graph.Graph, t float64) (*Result, error) {
 
 // GreedyMetric runs the greedy algorithm on a finite metric space by
 // examining all n(n-1)/2 interpoint distances in non-decreasing order, the
-// "path-greedy" of the geometric spanner literature. O(n^2 log n) sort plus
-// one bounded distance query per pair; the queries are answered by the
-// batched-parallel engine (GreedyGraphParallel), whose output is identical
-// to the sequential scan.
+// "path-greedy" of the geometric spanner literature. It is routed through
+// the batched cached-bound engine (GreedyMetricFastParallel), whose output
+// is identical to the naive sequential scan: every pair receives the exact
+// greedy accept/reject decision.
 func GreedyMetric(m metric.Metric, t float64) (*Result, error) {
-	if !validStretch(t) {
-		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
-	}
-	return GreedyGraphParallel(metric.CompleteGraph(m), t, 0)
+	return GreedyMetricFastParallel(m, t, 0)
 }
 
 // GreedyMetricFast is the cached-distance variant of the metric greedy
 // algorithm in the spirit of Bose et al. [BCF+10]: it maintains a matrix of
 // upper bounds on current spanner distances and refreshes a row with a full
-// Dijkstra only when the cached bound fails to certify a skip. On doubling
-// metrics it performs a small number of Dijkstra runs per accepted edge,
-// giving near-quadratic behaviour in practice, versus the cubic-ish naive
-// bound. The output is identical to GreedyMetric (same deterministic edge
-// order, same decisions).
+// Dijkstra only when the cached bound fails to certify a skip. It is routed
+// through GreedyMetricFastParallel, which refreshes rows concurrently over
+// all cores; the output is bit-identical to the serial reference
+// (GreedyMetricFastSerial) and to GreedyMetric.
 func GreedyMetricFast(m metric.Metric, t float64) (*Result, error) {
+	return GreedyMetricFastParallel(m, t, 0)
+}
+
+// GreedyMetricFastSerial is the single-threaded cached-bound reference
+// implementation of the metric greedy algorithm. The batched-parallel
+// engine (GreedyMetricFastParallel) must reproduce its output bit for bit;
+// it is retained for the equivalence tests and as the sequential baseline
+// of the greedymetricbench experiment. On doubling metrics it performs a
+// small number of Dijkstra runs per accepted edge, giving near-quadratic
+// behaviour in practice, versus the cubic-ish naive bound.
+func GreedyMetricFastSerial(m metric.Metric, t float64) (*Result, error) {
 	if !validStretch(t) {
 		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
 	}
@@ -138,29 +133,15 @@ func GreedyMetricFast(m metric.Metric, t float64) (*Result, error) {
 	if n <= 1 {
 		return res, nil
 	}
-	pairs := make([]graph.Edge, 0, n*(n-1)/2)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			pairs = append(pairs, graph.Edge{U: i, V: j, W: m.Dist(i, j)})
-		}
-	}
-	graph.SortEdges(pairs)
+	pairs := sortedPairs(m)
 
 	h := graph.New(n)
-	// bound[u][v] is a proven upper bound on delta_H(u, v); math.Inf when
+	// bound[u][v] is a proven upper bound on delta_H(u, v); +Inf when
 	// unknown. Bounds only improve as H grows, but adding an edge can make a
 	// cached bound stale-high, never stale-low, so skips certified by the
 	// cache remain valid while additions must be re-verified by a fresh
 	// Dijkstra.
-	bound := make([][]float64, n)
-	for i := range bound {
-		bound[i] = make([]float64, n)
-		for j := range bound[i] {
-			if i != j {
-				bound[i][j] = math.Inf(1)
-			}
-		}
-	}
+	bound := newBoundMatrix(n)
 	refresh := func(u int) {
 		sp := h.Dijkstra(u)
 		for v := 0; v < n; v++ {

@@ -1,0 +1,50 @@
+// Package core implements the paper's central object: the greedy spanner of
+// Althöfer et al. (Algorithm 1 in Filtser–Solomon, "The Greedy Spanner is
+// Existentially Optimal", PODC 2016), for both weighted graphs and finite
+// metric spaces, together with the verifiers that realize the paper's
+// optimality arguments — the Lemma 3 self-spanner property, the Lemma 8
+// size-injection argument, and the MST-containment Observation 2.
+//
+// # The greedy algorithm
+//
+// The greedy algorithm examines candidate edges in non-decreasing weight
+// order (ties broken by endpoint ids, so the scan is deterministic) and
+// keeps edge (u, v) iff the current spanner distance delta_H(u, v) exceeds
+// t * w(u, v). On graphs the candidates are the input's edges; on metrics
+// they are all n(n-1)/2 interpoint distances ("path-greedy").
+//
+// # The batched-parallel engines and the frozen-snapshot invariant
+//
+// Both scan loops — GreedyGraphParallel for graphs and
+// GreedyMetricFastParallel for metrics — parallelize the same way, and
+// both rest on one invariant: spanner distances only shrink as the greedy
+// scan adds edges, so any skip certified against a frozen snapshot H0 of
+// the growing spanner stays correct for every later spanner H ⊇ H0.
+// Concretely, if delta_{H0}(u, v) <= t * w(u, v) then the sequential
+// algorithm — which would test (u, v) against some H ⊇ H0 — would also
+// skip it, because delta_H <= delta_{H0}. Certification is therefore safe
+// to run concurrently against an immutable snapshot, out of greedy order;
+// only the pairs the snapshot fails to certify are replayed serially, in
+// exact greedy order, against the live spanner. Every accept/reject
+// decision thus matches the sequential scan, and the output — edge
+// sequence, weight, counters — is deterministic and bit-identical
+// regardless of worker count, batch width, or goroutine scheduling.
+//
+// The two engines differ only in the certification primitive:
+//
+//   - GreedyGraphParallel answers each query with bounded bidirectional
+//     Dijkstra on the snapshot (two balls of radius ~t*w/2 instead of one
+//     of radius t*w).
+//   - GreedyMetricFastParallel maintains the cached distance-bound matrix
+//     of GreedyMetricFastSerial (the Bose et al. [BCF+10] trick): cached
+//     upper bounds certify most skips with no search at all, and the rows
+//     that need recomputing are refreshed concurrently — each row is owned
+//     by exactly one worker, so a batch's refreshes need no locking. A
+//     refreshed row computed on H0 is again a valid row of upper bounds
+//     for every later H, by the same monotonicity.
+//
+// Both engines scan in adaptive weight batches: the batch width grows
+// while snapshots certify almost everything and shrinks when the snapshot
+// goes stale too fast (too many pairs fall through to the serial
+// re-check).
+package core

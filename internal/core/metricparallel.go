@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/metric"
+)
+
+// MetricParallelOptions configures GreedyMetricFastParallelOpts.
+type MetricParallelOptions struct {
+	// Workers is the number of goroutines refreshing bound-matrix rows
+	// concurrently; 0 selects GOMAXPROCS. With Workers == 1 the engine
+	// degenerates to the serial cached-bound scan (GreedyMetricFastSerial
+	// with reusable search scratch).
+	Workers int
+	// BatchSize fixes the number of sorted pairs examined per
+	// certification round. 0 (the default) selects adaptive batching: the
+	// width grows while batches certify cleanly and shrinks when too many
+	// pairs fall through to the serial re-check.
+	BatchSize int
+	// Stats, when non-nil, is filled with engine counters for ablations
+	// and benchmarks.
+	Stats *MetricParallelStats
+}
+
+// MetricParallelStats reports how the batched metric engine spent its
+// effort. CachedSkips + CertifiedSkips + SerialSkips + Kept equals the
+// number of pairs examined (n(n-1)/2).
+type MetricParallelStats struct {
+	// Batches is the number of certification rounds.
+	Batches int
+	// CachedSkips counts pairs certified by an already-cached bound, with
+	// no Dijkstra at all.
+	CachedSkips int
+	// CertifiedSkips counts pairs certified by a parallel row refresh
+	// against the frozen snapshot.
+	CertifiedSkips int
+	// SerialSkips counts pairs that survived both cache and snapshot
+	// certification but were skipped by the ordered serial re-check.
+	SerialSkips int
+	// Kept counts accepted edges.
+	Kept int
+	// ParallelRefreshes counts bound-matrix rows recomputed concurrently
+	// against frozen snapshots.
+	ParallelRefreshes int
+	// SerialRefreshes counts rows recomputed by the ordered re-check
+	// against the live spanner.
+	SerialRefreshes int
+	// FinalBatchSize is the adaptive batch width at the end of the scan.
+	FinalBatchSize int
+}
+
+// GreedyMetricFastParallel computes the greedy t-spanner of a finite metric
+// space like GreedyMetricFastSerial — cached distance bounds in the spirit
+// of Bose et al. [BCF+10] — but refreshes the cached bound matrix's rows
+// concurrently over `workers` goroutines (0 selects GOMAXPROCS). The output
+// — edge sequence, weight, and EdgesExamined — is deterministic
+// (independent of workers, batching, and scheduling) and bit-identical to
+// GreedyMetricFastSerial's, because both engines realize the exact greedy
+// decision for every pair.
+//
+// The engine scans the sorted pair list in batches. A serial pre-pass
+// certifies every pair the cached bounds already cover. The remaining
+// pairs' source rows are then refreshed concurrently with full Dijkstra
+// runs against the *frozen* spanner snapshot H0 taken at the batch
+// boundary; a bound proven on H0 stays a valid upper bound for every later
+// spanner H ⊇ H0 because adding edges only shrinks distances, so a skip it
+// certifies is final. Each row belongs to exactly one worker and workers
+// write nothing else, so the only synchronization is the join. Pairs the
+// snapshot cannot certify are re-checked serially, in exact greedy order,
+// against the live spanner — refresh row, re-test, then accept — exactly
+// the serial algorithm's decision procedure.
+func GreedyMetricFastParallel(m metric.Metric, t float64, workers int) (*Result, error) {
+	return GreedyMetricFastParallelOpts(m, t, MetricParallelOptions{Workers: workers})
+}
+
+// GreedyMetricFastParallelOpts is GreedyMetricFastParallel with explicit
+// batching controls; see MetricParallelOptions.
+func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParallelOptions) (*Result, error) {
+	if !validStretch(t) {
+		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	stats := opts.Stats
+	if stats == nil {
+		stats = &MetricParallelStats{}
+	}
+	*stats = MetricParallelStats{}
+
+	n := m.N()
+	res := &Result{N: n, Stretch: t}
+	if n <= 1 {
+		return res, nil
+	}
+	pairs := sortedPairs(m)
+	res.EdgesExamined = len(pairs)
+
+	h := graph.New(n)
+	bound := newBoundMatrix(n)
+	serial := graph.NewSearcher(n)
+	row := make([]float64, n)
+
+	// refresh recomputes row u against the live spanner and folds it into
+	// the bound matrix symmetrically, exactly like the serial engine.
+	refresh := func(u int) {
+		serial.Distances(h, u, row)
+		bu := bound[u]
+		for v := 0; v < n; v++ {
+			if row[v] < bu[v] {
+				bu[v] = row[v]
+				bound[v][u] = row[v]
+			}
+		}
+		stats.SerialRefreshes++
+	}
+	accept := func(e graph.Edge) {
+		h.MustAddEdge(e.U, e.V, e.W)
+		bound[e.U][e.V] = e.W
+		bound[e.V][e.U] = e.W
+		res.Edges = append(res.Edges, e)
+		res.Weight += e.W
+		stats.Kept++
+	}
+
+	if workers == 1 {
+		// Serial fast path: the cached-bound scan with reusable scratch,
+		// no snapshot pass.
+		stats.FinalBatchSize = serialBatchStat(opts.BatchSize, len(pairs))
+		for _, e := range pairs {
+			limit := t * e.W
+			if bound[e.U][e.V] <= limit {
+				stats.CachedSkips++
+				continue
+			}
+			refresh(e.U)
+			if bound[e.U][e.V] <= limit {
+				stats.SerialSkips++
+				continue
+			}
+			accept(e)
+		}
+		return res, nil
+	}
+
+	pool := make([]*graph.Searcher, workers)
+	rows := make([][]float64, workers)
+	for i := range pool {
+		pool[i] = graph.NewSearcher(n)
+		rows[i] = make([]float64, n)
+	}
+	cached := make([]bool, len(pairs))
+	// sources collects the distinct row indices the current batch needs
+	// refreshed; inBatch stamps membership per round.
+	var sources []int
+	inBatch := make([]int, n)
+	for i := range inBatch {
+		inBatch[i] = -1
+	}
+
+	batch := opts.BatchSize
+	adaptive := batch <= 0
+	if adaptive {
+		batch = initialBatch(workers)
+	}
+
+	for lo := 0; lo < len(pairs); {
+		hi := lo + batch
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		round := stats.Batches
+		stats.Batches++
+
+		// Serial pre-pass: certify what the cache already covers and
+		// collect the rows the rest of the batch wants refreshed.
+		sources = sources[:0]
+		for i := lo; i < hi; i++ {
+			e := pairs[i]
+			if cached[i] = bound[e.U][e.V] <= t*e.W; cached[i] {
+				stats.CachedSkips++
+			} else if inBatch[e.U] != round {
+				inBatch[e.U] = round
+				sources = append(sources, e.U)
+			}
+		}
+
+		// Phase 1: refresh the collected rows in parallel against the
+		// frozen h. Sources are partitioned so each bound row is written
+		// by exactly one worker, and workers read only h and their own
+		// scratch, so the only synchronization needed is the join.
+		var wg sync.WaitGroup
+		chunk := (len(sources) + workers - 1) / workers
+		for w := 0; w < workers && w*chunk < len(sources); w++ {
+			start, end := w*chunk, (w+1)*chunk
+			if end > len(sources) {
+				end = len(sources)
+			}
+			wg.Add(1)
+			go func(search *graph.Searcher, scratch []float64, srcs []int) {
+				defer wg.Done()
+				for _, u := range srcs {
+					search.Distances(h, u, scratch)
+					bu := bound[u]
+					for v := range bu {
+						if scratch[v] < bu[v] {
+							bu[v] = scratch[v]
+						}
+					}
+				}
+			}(pool[w], rows[w], sources[start:end])
+		}
+		wg.Wait()
+		stats.ParallelRefreshes += len(sources)
+		// Fold the refreshed rows into their mirror entries serially (the
+		// workers could not: column writes would collide across rows).
+		for _, u := range sources {
+			bu := bound[u]
+			for v := range bu {
+				if bu[v] < bound[v][u] {
+					bound[v][u] = bu[v]
+				}
+			}
+		}
+
+		// Phase 2: replay the uncertified survivors serially in greedy
+		// order against the live spanner. A survivor may still be skipped
+		// here when an edge accepted earlier in this same batch — or a
+		// fresher bound row — covers it, exactly as the serial scan would
+		// decide.
+		survivors := 0
+		acceptedInBatch := false
+		for i := lo; i < hi; i++ {
+			if cached[i] {
+				continue
+			}
+			e := pairs[i]
+			limit := t * e.W
+			if bound[e.U][e.V] <= limit {
+				stats.CertifiedSkips++
+				continue
+			}
+			survivors++
+			// Until this batch's first accept the live spanner still
+			// equals the frozen snapshot, and every survivor's row was
+			// refreshed against it in phase 1 — bound[e.U][e.V] is already
+			// the exact live distance, so the serial refresh would change
+			// nothing.
+			if acceptedInBatch {
+				refresh(e.U)
+				if bound[e.U][e.V] <= limit {
+					stats.SerialSkips++
+					continue
+				}
+			}
+			accept(e)
+			acceptedInBatch = true
+		}
+
+		span := hi - lo
+		lo = hi
+		if adaptive {
+			batch = adaptBatch(batch, survivors, span)
+		}
+	}
+	stats.FinalBatchSize = batch
+	return res, nil
+}
+
+// sortedPairs materializes all n(n-1)/2 interpoint distances of m as edges
+// in the greedy scan order: non-decreasing weight, ties broken by endpoint
+// ids.
+func sortedPairs(m metric.Metric) []graph.Edge {
+	n := m.N()
+	pairs := make([]graph.Edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, graph.Edge{U: i, V: j, W: m.Dist(i, j)})
+		}
+	}
+	graph.SortEdges(pairs)
+	return pairs
+}
+
+// newBoundMatrix allocates the n x n upper-bound matrix: zero diagonal,
+// +Inf (unknown) everywhere else, backed by one contiguous allocation.
+func newBoundMatrix(n int) [][]float64 {
+	flat := make([]float64, n*n)
+	for i := range flat {
+		flat[i] = graph.Inf
+	}
+	bound := make([][]float64, n)
+	for i := range bound {
+		bound[i] = flat[i*n : (i+1)*n : (i+1)*n]
+		bound[i][i] = 0
+	}
+	return bound
+}

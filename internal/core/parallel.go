@@ -47,6 +47,42 @@ const (
 	maxBatch = 8192
 )
 
+// initialBatch is the starting width of the adaptive policy, shared by the
+// graph and metric engines: wide enough to feed every worker a few queries
+// on the first round.
+func initialBatch(workers int) int {
+	b := minBatch
+	if w := 4 * workers; w > b {
+		b = w
+	}
+	return b
+}
+
+// adaptBatch is the shared width-update rule: survivors cost extra serial
+// work on top of the batch's parallel certification, so the width grows
+// while batches certify almost everything — wider batches amortize the
+// worker fan-out — and shrinks when the snapshot goes stale too fast to
+// certify.
+func adaptBatch(batch, survivors, span int) int {
+	switch {
+	case survivors*4 <= span && batch < maxBatch:
+		return batch * 2
+	case survivors*2 > span && batch > minBatch:
+		return batch / 2
+	}
+	return batch
+}
+
+// serialBatchStat is the FinalBatchSize reported by the workers==1 fast
+// paths, which do not batch: the explicitly configured width when one was
+// given, otherwise the whole scan.
+func serialBatchStat(batchSize, scanLen int) int {
+	if batchSize > 0 {
+		return batchSize
+	}
+	return scanLen
+}
+
 // GreedyGraphParallel computes the greedy t-spanner of g like GreedyGraph,
 // but fans the per-edge distance queries out over `workers` goroutines
 // (0 selects GOMAXPROCS). The output — edge sequence, weight, and
@@ -104,7 +140,7 @@ func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*
 		// Serial fast path: no snapshot pass, every edge tested once
 		// against the live spanner, exactly like GreedyGraph but with the
 		// bidirectional primitive.
-		stats.FinalBatchSize = len(edges)
+		stats.FinalBatchSize = serialBatchStat(opts.BatchSize, len(edges))
 		for _, e := range edges {
 			if _, within := serial.BidirDistanceWithin(h, e.U, e.V, t*e.W); within {
 				stats.SerialSkips++
@@ -124,10 +160,7 @@ func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*
 	batch := opts.BatchSize
 	adaptive := batch <= 0
 	if adaptive {
-		batch = minBatch
-		if w := 4 * workers; w > batch {
-			batch = w
-		}
+		batch = initialBatch(workers)
 	}
 
 	for lo := 0; lo < len(edges); {
@@ -184,16 +217,7 @@ func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*
 
 		lo = hi
 		if adaptive {
-			// Survivors cost two queries (certify + re-check), certified
-			// skips one. Widen while batches certify almost everything —
-			// wider batches amortize the pool fan-out — and narrow when
-			// the snapshot goes stale too fast to certify.
-			switch {
-			case survivors*4 <= span && batch < maxBatch:
-				batch *= 2
-			case survivors*2 > span && batch > minBatch:
-				batch /= 2
-			}
+			batch = adaptBatch(batch, survivors, span)
 		}
 	}
 	stats.FinalBatchSize = batch

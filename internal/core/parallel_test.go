@@ -107,10 +107,12 @@ func TestGreedyGraphParallelDeterminism(t *testing.T) {
 	}
 }
 
-// TestGreedyMetricRoutesThroughParallel checks that the metric greedy —
-// now routed through the parallel engine — still matches the cached-bound
-// variant, which takes a completely different code path.
-func TestGreedyMetricRoutesThroughParallel(t *testing.T) {
+// TestGreedyMetricMatchesGraphEngine cross-checks the two parallel engines:
+// the metric greedy (cached-bound row refreshes) against the batched graph
+// engine run on the metric's complete distance graph (bounded bidirectional
+// searches) — completely disjoint query code paths that must produce the
+// same spanner.
+func TestGreedyMetricMatchesGraphEngine(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	m := metric.MustEuclidean(gen.UniformPoints(rng, 70, 2))
 	for _, stretch := range []float64{1.2, 1.5, 2} {
@@ -118,12 +120,12 @@ func TestGreedyMetricRoutesThroughParallel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := GreedyMetricFast(m, stretch)
+		b, err := GreedyGraphParallel(metric.CompleteGraph(m), stretch, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(a.Edges) != len(b.Edges) || a.Weight != b.Weight {
-			t.Fatalf("t=%v: metric parallel route diverged: %d/%v vs %d/%v edges/weight",
+			t.Fatalf("t=%v: metric and graph engines diverged: %d/%v vs %d/%v edges/weight",
 				stretch, len(a.Edges), a.Weight, len(b.Edges), b.Weight)
 		}
 	}

@@ -1,12 +1,3 @@
-// Package graph implements the weighted undirected graph substrate used by
-// every spanner construction in this repository: adjacency-list graphs,
-// Dijkstra variants (full, distance-bounded, target-pruned), breadth-first
-// search, minimum spanning trees (Kruskal and Prim), a union-find structure,
-// girth computation, second-shortest paths, and all-pairs shortest paths.
-//
-// Vertices are dense integers in [0, N()). Edge weights are positive
-// float64s; all algorithms assume positive weights (shortest paths are
-// well-defined and Dijkstra applies).
 package graph
 
 import (

@@ -1,9 +1,3 @@
-// Package metric defines the finite metric-space abstraction used by the
-// metric spanner constructions (greedy path-greedy, approximate-greedy,
-// Θ/Yao/WSPD baselines) and provides concrete implementations: Euclidean
-// point sets of any dimension, explicit distance matrices, and shortest-path
-// metrics induced by graphs (the M_G of the paper). It also implements
-// doubling-dimension estimation via r-nets and metric sanity checks.
 package metric
 
 import (

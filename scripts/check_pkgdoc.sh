@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# check_pkgdoc.sh — the CI docs gate: every package in the module must have
+# a package (or command) doc comment, i.e. at least one non-test .go file
+# with a comment line immediately preceding its `package` clause.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+  ok=0
+  for f in "$dir"/*.go; do
+    case "$f" in
+    *_test.go) continue ;;
+    esac
+    # A doc comment is a line comment (not a //go: directive) or the tail
+    # of a /* */ block immediately preceding the package clause.
+    if awk '(prev ~ /^\/\// && prev !~ /^\/\/go:/ || prev ~ /\*\/[[:space:]]*$/) && /^package / { found = 1 } { prev = $0 } END { exit !found }' "$f"; then
+      ok=1
+      break
+    fi
+  done
+  if [ "$ok" -eq 0 ]; then
+    echo "missing package doc comment: $dir"
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  echo "add a '// Package <name> ...' (or '// <Command> ...') comment above the package clause"
+fi
+exit "$fail"

@@ -4,15 +4,17 @@
 //
 // The package exposes three families of constructions:
 //
-//   - Greedy / GreedyParallel / GreedyMetric / GreedyMetricFast —
-//     Algorithm 1 of the paper: the greedy t-spanner for weighted graphs
-//     and finite metric spaces, existentially optimal in size and
-//     lightness (Theorems 4 and 5). GreedyParallel is the batched-parallel
-//     engine: it scans the sorted edges in batches, certifies skips
-//     concurrently against a frozen spanner snapshot using bounded
-//     bidirectional Dijkstra, and re-checks the survivors serially in
-//     greedy order, so its output is deterministic and identical to
-//     Greedy's while construction runs across all cores.
+//   - Greedy / GreedyParallel / GreedyMetric / GreedyMetricFast /
+//     GreedyMetricParallel — Algorithm 1 of the paper: the greedy
+//     t-spanner for weighted graphs and finite metric spaces,
+//     existentially optimal in size and lightness (Theorems 4 and 5).
+//     Both engines share the batched-certification architecture: sorted
+//     candidates are scanned in adaptive batches, skips are certified
+//     concurrently against a frozen spanner snapshot (bounded
+//     bidirectional Dijkstra on graphs; cached bound-matrix row refreshes
+//     on metrics), and the survivors are re-checked serially in greedy
+//     order — so parallel output is deterministic and bit-identical to
+//     the sequential scan while construction runs across all cores.
 //   - ApproxGreedy — the O(n log n)-style approximate-greedy algorithm for
 //     doubling metrics (Section 5, Theorem 6), with constant lightness and
 //     degree.
@@ -97,14 +99,31 @@ func GreedyParallel(g *Graph, t float64, workers int) (*Result, error) {
 
 // GreedyMetric computes the greedy t-spanner of a finite metric space by
 // examining all pairwise distances ("path-greedy"). It is routed through
-// the batched-parallel engine; the output is the same deterministic
-// spanner the sequential scan produces.
+// the batched cached-bound metric engine (GreedyMetricParallel with
+// GOMAXPROCS workers); the output is the same deterministic spanner the
+// sequential scan produces.
 func GreedyMetric(m Metric, t float64) (*Result, error) { return core.GreedyMetric(m, t) }
 
 // GreedyMetricFast is GreedyMetric with cached distance bounds in the
-// spirit of Bose et al. [BCF+10]; it returns the identical spanner with
-// near-quadratic practical running time.
+// spirit of Bose et al. [BCF+10]: a matrix of upper bounds on spanner
+// distances certifies most skips without any search, and a row is
+// recomputed only when its cached bound fails. It too is routed through
+// the batched-parallel metric engine and returns the identical spanner
+// with near-quadratic practical running time.
 func GreedyMetricFast(m Metric, t float64) (*Result, error) { return core.GreedyMetricFast(m, t) }
+
+// GreedyMetricParallel computes the same spanner as GreedyMetric and
+// GreedyMetricFast — identical edge sequence, weight, and counters — with
+// explicit control over the worker count (0 selects GOMAXPROCS). The
+// engine scans the sorted pair list in adaptive batches: cached bounds
+// certify most skips outright, the remaining rows of the bound matrix are
+// refreshed concurrently against a frozen snapshot of the growing spanner
+// (valid because cached upper bounds only tighten as edges are added), and
+// only the uncertified pairs are re-examined serially in exact greedy
+// order.
+func GreedyMetricParallel(m Metric, t float64, workers int) (*Result, error) {
+	return core.GreedyMetricFastParallel(m, t, workers)
+}
 
 // ApproxGreedy runs the approximate-greedy (1+eps)-spanner algorithm for
 // doubling metrics (Section 5 of the paper; Das–Narasimhan / Gudmundsson et
