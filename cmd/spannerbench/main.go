@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	spannerbench [-exp all|e1|...|e12|a1..a5|ablations|greedybench|greedymetricbench] [-scale small|full] [-seed N]
+//	spannerbench [-exp all|e1|...|e12|a1..a5|ablations|greedybench|greedymetricbench|pairstreambench] [-scale small|full] [-seed N]
 //
 // The "full" scale is what EXPERIMENTS.md records; "small" finishes in a
 // few seconds.
@@ -19,7 +19,14 @@
 // cached-bound scan against the batched-parallel metric engine on
 // Euclidean and graph-induced metrics, writing BENCH_greedymetric.json by
 // default. -workers restricts its parallel sweep to one worker count
-// (0 sweeps 1, 4, and GOMAXPROCS).
+// (0 sweeps 1, 4, and GOMAXPROCS). Both engine benchmarks also record
+// runtime.MemStats peak/total allocation per configuration.
+//
+// -exp pairstreambench isolates the candidate-supply ablation: the same
+// metric engine fed by the materialized, globally sorted pair list vs the
+// streamed weight-bucketed supply, with peak/total allocation recorded,
+// writing BENCH_pairstream.json by default. -workers selects the engine
+// worker count (default 1).
 package main
 
 import (
@@ -40,7 +47,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("spannerbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench")
+	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench")
 	scaleFlag := fs.String("scale", "small", "experiment scale: small or full")
 	seed := fs.Int64("seed", 42, "random seed for workload generation")
 	jsonPath := fs.String("json", "", "output path for the greedybench/greedymetricbench report (default BENCH_greedy.json / BENCH_greedymetric.json)")
@@ -110,6 +117,10 @@ func run(args []string) error {
 		tab, report, err := bench.GreedyMetricBench(scale, *seed, *reps, *workers)
 		return writeReport("BENCH_greedymetric.json", tab, report, err)
 	}
+	if name == "pairstreambench" {
+		tab, report, err := bench.PairStreamBench(scale, *seed, *reps, *workers)
+		return writeReport("BENCH_pairstream.json", tab, report, err)
+	}
 	if name == "all" || name == "ablations" {
 		var (
 			tabs []*bench.Table
@@ -132,7 +143,7 @@ func run(args []string) error {
 	}
 	r, ok := runners[name]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want all, e1..e12, a1..a5, ablations, greedybench, or greedymetricbench)", *exp)
+		return fmt.Errorf("unknown experiment %q (want all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, or pairstreambench)", *exp)
 	}
 	tab, err := r()
 	if err != nil {

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/metric"
+)
+
+// testing.B benchmarks over the greedy engines and their candidate
+// supplies, small enough that CI's smoke step (-benchtime=1x) stays
+// cheap while still compiling and exercising every engine/supply
+// combination.
+
+func benchMetric(b *testing.B, n int) metric.Metric {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	return metric.MustEuclidean(gen.UniformPoints(rng, n, 2))
+}
+
+func BenchmarkGreedyMetricSerialMaterialized(b *testing.B) {
+	m := benchMetric(b, 220)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreedyMetricFastSerial(m, 1.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyMetricStreamed(b *testing.B) {
+	m := benchMetric(b, 220)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreedyMetricFastParallel(m, 1.5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyMetricMaterialized(b *testing.B) {
+	m := benchMetric(b, 220)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.MetricParallelOptions{Workers: 1, Materialize: true}
+		if _, err := core.GreedyMetricFastParallelOpts(m, 1.5, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyMetricStreamedParallel(b *testing.B) {
+	m := benchMetric(b, 220)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreedyMetricFastParallel(m, 1.5, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMetricPairSourceDrain(b *testing.B) {
+	m := benchMetric(b, 220)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := core.NewMetricSource(m, 0)
+		for len(src.NextBatch(4096)) > 0 {
+		}
+	}
+}
+
+func BenchmarkGreedyGraphStreamed(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	g := gen.ErdosRenyi(rng, 200, 0.2, 0.5, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreedyGraphParallel(g, 3, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

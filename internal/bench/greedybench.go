@@ -32,18 +32,28 @@ type GreedyBenchParallelRun struct {
 	SpreadPct float64 `json:"spread_pct"`
 	// Speedup is sequential median over this run's median.
 	Speedup float64 `json:"speedup"`
+	// PeakAllocBytes / TotalAllocBytes record the run's heap high-water
+	// mark and cumulative allocation volume, measured in a dedicated
+	// non-timed pass (see measureAlloc), so memory wins are tracked
+	// alongside wall-clock.
+	PeakAllocBytes  uint64 `json:"peak_alloc_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
 }
 
 // GreedyBenchCase is the report for one instance size.
 type GreedyBenchCase struct {
-	N                  int                      `json:"n"`
-	M                  int                      `json:"m"`
-	Stretch            float64                  `json:"stretch"`
-	SpannerEdges       int                      `json:"spanner_edges"`
-	SequentialMS       []float64                `json:"sequential_ms"`
-	SequentialMedianMS float64                  `json:"sequential_median_ms"`
-	SequentialSpread   float64                  `json:"sequential_spread_pct"`
-	Parallel           []GreedyBenchParallelRun `json:"parallel"`
+	N                  int       `json:"n"`
+	M                  int       `json:"m"`
+	Stretch            float64   `json:"stretch"`
+	SpannerEdges       int       `json:"spanner_edges"`
+	SequentialMS       []float64 `json:"sequential_ms"`
+	SequentialMedianMS float64   `json:"sequential_median_ms"`
+	SequentialSpread   float64   `json:"sequential_spread_pct"`
+	// SequentialPeakAllocBytes / SequentialTotalAllocBytes are the
+	// sequential reference's heap figures (one dedicated non-timed pass).
+	SequentialPeakAllocBytes  uint64                   `json:"sequential_peak_alloc_bytes"`
+	SequentialTotalAllocBytes uint64                   `json:"sequential_total_alloc_bytes"`
+	Parallel                  []GreedyBenchParallelRun `json:"parallel"`
 	// IdenticalOutput records that every parallel run reproduced the
 	// sequential engine's edge sequence and weight exactly.
 	IdenticalOutput bool `json:"identical_output"`
@@ -106,9 +116,11 @@ func GreedyBench(scale Scale, seed int64, reps int) (*Table, *GreedyBenchReport,
 	}
 	tab := &Table{
 		Title:  "GREEDY-BENCH: sequential vs batched-parallel greedy engine",
-		Header: []string{"n", "m", "engine", "workers", "median ms", "spread %", "speedup", "identical"},
-		Caption: "Sequential = one-sided bounded Dijkstra per candidate edge; parallel = weight-batched\n" +
-			"skip certification over bounded bidirectional searches. Outputs are compared edge-for-edge.",
+		Header: []string{"n", "m", "engine", "workers", "median ms", "spread %", "speedup", "peak MB", "identical"},
+		Caption: "Sequential = one-sided bounded Dijkstra per candidate edge over a sorted edge copy;\n" +
+			"parallel = weight-batched skip certification over bounded bidirectional searches, fed by\n" +
+			"the streamed bucketed edge supply. Outputs are compared edge-for-edge; peak MB is the\n" +
+			"heap high-water mark of a dedicated non-timed pass.",
 	}
 	report := &GreedyBenchReport{
 		GoVersion:  runtime.Version(),
@@ -144,8 +156,17 @@ func GreedyBench(scale Scale, seed int64, reps int) (*Table, *GreedyBenchReport,
 		c.SpannerEdges = ref.Size()
 		c.SequentialMedianMS = median(c.SequentialMS)
 		c.SequentialSpread = spreadPct(c.SequentialMS)
+		seqPeak, seqTotal, err := measureAlloc(func() error {
+			_, err := core.GreedyGraph(g, inst.t)
+			return err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		c.SequentialPeakAllocBytes, c.SequentialTotalAllocBytes = seqPeak, seqTotal
 		tab.AddRow(itoa(inst.n), itoa(g.M()), "sequential", "-",
-			f2(c.SequentialMedianMS), f2(c.SequentialSpread), "1.00", "ref")
+			f2(c.SequentialMedianMS), f2(c.SequentialSpread), "1.00",
+			mb(c.SequentialPeakAllocBytes), "ref")
 
 		seen := map[int]bool{}
 		for _, w := range workerSets {
@@ -167,10 +188,19 @@ func GreedyBench(scale Scale, seed int64, reps int) (*Table, *GreedyBenchReport,
 			run.MedianMS = median(run.MS)
 			run.SpreadPct = spreadPct(run.MS)
 			run.Speedup = c.SequentialMedianMS / run.MedianMS
+			peak, totalAlloc, err := measureAlloc(func() error {
+				_, err := core.GreedyGraphParallel(g, inst.t, w)
+				return err
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			run.PeakAllocBytes, run.TotalAllocBytes = peak, totalAlloc
 			c.IdenticalOutput = c.IdenticalOutput && identical
 			c.Parallel = append(c.Parallel, run)
 			tab.AddRow(itoa(inst.n), itoa(g.M()), "parallel", itoa(w),
-				f2(run.MedianMS), f2(run.SpreadPct), f2(run.Speedup), yesNo(identical))
+				f2(run.MedianMS), f2(run.SpreadPct), f2(run.Speedup),
+				mb(run.PeakAllocBytes), yesNo(identical))
 		}
 		report.Cases = append(report.Cases, c)
 	}

@@ -24,15 +24,27 @@ import (
 // GreedyMetricBenchCase is the report for one metric instance.
 type GreedyMetricBenchCase struct {
 	// Kind names the metric family: "euclidean" or "graph-induced".
-	Kind               string                   `json:"kind"`
-	N                  int                      `json:"n"`
-	Pairs              int                      `json:"pairs"`
-	Stretch            float64                  `json:"stretch"`
-	SpannerEdges       int                      `json:"spanner_edges"`
-	SequentialMS       []float64                `json:"sequential_ms"`
-	SequentialMedianMS float64                  `json:"sequential_median_ms"`
-	SequentialSpread   float64                  `json:"sequential_spread_pct"`
-	Parallel           []GreedyBenchParallelRun `json:"parallel"`
+	Kind               string    `json:"kind"`
+	N                  int       `json:"n"`
+	Pairs              int       `json:"pairs"`
+	Stretch            float64   `json:"stretch"`
+	SpannerEdges       int       `json:"spanner_edges"`
+	SequentialMS       []float64 `json:"sequential_ms"`
+	SequentialMedianMS float64   `json:"sequential_median_ms"`
+	SequentialSpread   float64   `json:"sequential_spread_pct"`
+	// SequentialPeakAllocBytes / SequentialTotalAllocBytes are the heap
+	// figures of the serial reference — the materialized-pairs path: all
+	// n(n-1)/2 pairs built and globally sorted plus the dense bound
+	// matrix — measured in a dedicated non-timed pass.
+	SequentialPeakAllocBytes  uint64                   `json:"sequential_peak_alloc_bytes"`
+	SequentialTotalAllocBytes uint64                   `json:"sequential_total_alloc_bytes"`
+	Parallel                  []GreedyBenchParallelRun `json:"parallel"`
+	// PeakAllocRatio is SequentialPeakAllocBytes over the smallest
+	// parallel-run peak: how many times less memory the streamed
+	// bucketed supply plus sparse bound rows need than the
+	// materialize-then-sort pipeline for the same (bit-identical)
+	// spanner.
+	PeakAllocRatio float64 `json:"peak_alloc_ratio"`
 	// IdenticalOutput records that every parallel run reproduced the
 	// sequential engine's edge sequence and weight exactly.
 	IdenticalOutput bool `json:"identical_output"`
@@ -60,9 +72,11 @@ func GreedyMetricBench(scale Scale, seed int64, reps, workers int) (*Table, *Gre
 	}
 	tab := &Table{
 		Title:  "GREEDY-METRIC-BENCH: serial vs batched-parallel cached-bound metric engine",
-		Header: []string{"kind", "n", "pairs", "engine", "workers", "median ms", "spread %", "speedup", "identical"},
-		Caption: "Serial = cached bound matrix with one-row-at-a-time refreshes; parallel = weight-batched\n" +
-			"scan with concurrent row refreshes against a frozen snapshot. Outputs compared edge-for-edge.",
+		Header: []string{"kind", "n", "pairs", "engine", "workers", "median ms", "spread %", "speedup", "peak MB", "identical"},
+		Caption: "Serial = materialized sorted pair list + dense bound matrix, one-row-at-a-time refreshes;\n" +
+			"parallel = streamed weight-bucketed candidate supply + sparse bound rows, concurrent row\n" +
+			"refreshes against a frozen snapshot. Outputs compared edge-for-edge; peak MB is the heap\n" +
+			"high-water mark of a dedicated non-timed pass.",
 	}
 	report := &GreedyMetricBenchReport{
 		GoVersion:  runtime.Version(),
@@ -85,8 +99,13 @@ func GreedyMetricBench(scale Scale, seed int64, reps, workers int) (*Table, *Gre
 	}
 	instances = append(instances, instance{"graph-induced", induced, 3})
 	if scale == Full {
+		// The n=4000 instance is the memory acceptance case: the
+		// materialized-pairs path fronts ~8M sorted pairs (~190 MB) plus
+		// a 128 MB dense bound matrix, while the streamed supply plus
+		// sparse rows must come in at least 5x below that peak.
 		instances = append(instances,
-			instance{"euclidean", metric.MustEuclidean(gen.UniformPoints(rng, 1000, 2)), 1.5})
+			instance{"euclidean", metric.MustEuclidean(gen.UniformPoints(rng, 1000, 2)), 1.5},
+			instance{"euclidean", metric.MustEuclidean(gen.UniformPoints(rng, 4000, 2)), 1.5})
 	}
 	workerSets := []int{1, 4, runtime.GOMAXPROCS(0)}
 	if workers > 0 {
@@ -111,8 +130,17 @@ func GreedyMetricBench(scale Scale, seed int64, reps, workers int) (*Table, *Gre
 		c.SpannerEdges = ref.Size()
 		c.SequentialMedianMS = median(c.SequentialMS)
 		c.SequentialSpread = spreadPct(c.SequentialMS)
+		seqPeak, seqTotal, err := measureAlloc(func() error {
+			_, err := core.GreedyMetricFastSerial(inst.m, inst.t)
+			return err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		c.SequentialPeakAllocBytes, c.SequentialTotalAllocBytes = seqPeak, seqTotal
 		tab.AddRow(inst.kind, itoa(n), itoa(c.Pairs), "serial", "-",
-			f2(c.SequentialMedianMS), f2(c.SequentialSpread), "1.00", "ref")
+			f2(c.SequentialMedianMS), f2(c.SequentialSpread), "1.00",
+			mb(c.SequentialPeakAllocBytes), "ref")
 
 		seen := map[int]bool{}
 		for _, w := range workerSets {
@@ -134,10 +162,27 @@ func GreedyMetricBench(scale Scale, seed int64, reps, workers int) (*Table, *Gre
 			run.MedianMS = median(run.MS)
 			run.SpreadPct = spreadPct(run.MS)
 			run.Speedup = c.SequentialMedianMS / run.MedianMS
+			peak, totalAlloc, err := measureAlloc(func() error {
+				_, err := core.GreedyMetricFastParallel(inst.m, inst.t, w)
+				return err
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			run.PeakAllocBytes, run.TotalAllocBytes = peak, totalAlloc
 			c.IdenticalOutput = c.IdenticalOutput && identical
 			c.Parallel = append(c.Parallel, run)
 			tab.AddRow(inst.kind, itoa(n), itoa(c.Pairs), "parallel", itoa(w),
-				f2(run.MedianMS), f2(run.SpreadPct), f2(run.Speedup), yesNo(identical))
+				f2(run.MedianMS), f2(run.SpreadPct), f2(run.Speedup),
+				mb(run.PeakAllocBytes), yesNo(identical))
+		}
+		for _, run := range c.Parallel {
+			if run.PeakAllocBytes == 0 {
+				continue
+			}
+			if r := float64(c.SequentialPeakAllocBytes) / float64(run.PeakAllocBytes); r > c.PeakAllocRatio {
+				c.PeakAllocRatio = r
+			}
 		}
 		report.Cases = append(report.Cases, c)
 	}

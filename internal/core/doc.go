@@ -47,4 +47,35 @@
 // while snapshots certify almost everything and shrinks when the snapshot
 // goes stale too fast (too many pairs fall through to the serial
 // re-check).
+//
+// # The streaming candidate supply and the sparse bound rows
+//
+// Both batched engines pull their candidates from a CandidateSource
+// instead of a materialized slice. The classic pipeline builds every
+// candidate up front — all n(n-1)/2 interpoint pairs for metrics, a full
+// copy of the edge list for graphs — and sorts it globally, so an
+// n-point Euclidean instance pays Θ(n²) memory before the first greedy
+// decision. The streamed sources exploit that the greedy scan only ever
+// consumes candidates in non-decreasing weight order: one counting pass
+// partitions the weights into geometric buckets [2^(e-1), 2^e), and only
+// the active bucket is materialized and sorted (buckets above a
+// configurable pair cap are first subdivided into narrower weight
+// ranges), so supply memory is O(bucket cap) and sorting is O(B log B)
+// per bucket instead of one global O(N log N). On Euclidean metrics the
+// bucket is produced by the grid enumerator of internal/geom, which
+// inspects only grid cells within the bucket's distance — pairs beyond
+// the active weight scale are never even evaluated. The streamed order is
+// exactly the materialized order (ties included), so engine output is
+// bit-identical for any supply.
+//
+// The metric engine's dense n x n bound matrix is likewise replaced by a
+// sparse row store: rows materialize on first refresh (never-refreshed
+// vertices cost nothing) and hold bfloat16 upper bounds rounded toward
+// +Inf. The lossy cache is sound because a rounded-up upper bound is
+// still an upper bound, and it cannot change output because every pair
+// the cache fails to certify is decided on an exact float64 Dijkstra
+// distance — exactly the serial reference's decision procedure. The
+// serial reference (GreedyMetricFastSerial) intentionally keeps the
+// materialized pair list and dense float64 matrix as the
+// memory-comparison baseline and ground truth.
 package core

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -11,16 +12,31 @@ import (
 
 // MetricParallelOptions configures GreedyMetricFastParallelOpts.
 type MetricParallelOptions struct {
-	// Workers is the number of goroutines refreshing bound-matrix rows
+	// Workers is the number of goroutines refreshing bound rows
 	// concurrently; 0 selects GOMAXPROCS. With Workers == 1 the engine
 	// degenerates to the serial cached-bound scan (GreedyMetricFastSerial
-	// with reusable search scratch).
+	// with reusable search scratch and the sparse row store).
 	Workers int
 	// BatchSize fixes the number of sorted pairs examined per
 	// certification round. 0 (the default) selects adaptive batching: the
 	// width grows while batches certify cleanly and shrinks when too many
 	// pairs fall through to the serial re-check.
 	BatchSize int
+	// Source overrides the candidate supply. The default is the streamed
+	// weight-bucketed supply of NewMetricSource (grid-bucketed on
+	// Euclidean metrics); any CandidateSource emitting all n(n-1)/2 pairs
+	// in greedy scan order yields the identical spanner.
+	Source CandidateSource
+	// Materialize forces the classic materialize-then-sort supply (all
+	// pairs built and globally sorted up front, O(n^2) memory before the
+	// first greedy decision). It exists for benchmarks and comparison;
+	// output is identical either way. Ignored when Source is set.
+	Materialize bool
+	// BucketPairs caps how many candidates the default streamed supply
+	// holds materialized at once; <= 0 selects DefaultBucketPairs (scaled
+	// up on very large instances). Ignored when Source is set or
+	// Materialize is true.
+	BucketPairs int
 	// Stats, when non-nil, is filled with engine counters for ablations
 	// and benchmarks.
 	Stats *MetricParallelStats
@@ -39,30 +55,146 @@ type MetricParallelStats struct {
 	// against the frozen snapshot.
 	CertifiedSkips int
 	// SerialSkips counts pairs that survived both cache and snapshot
-	// certification but were skipped by the ordered serial re-check.
+	// certification but were skipped by the exact serial re-check.
 	SerialSkips int
 	// Kept counts accepted edges.
 	Kept int
-	// ParallelRefreshes counts bound-matrix rows recomputed concurrently
-	// against frozen snapshots.
+	// ParallelRefreshes counts bound rows recomputed concurrently against
+	// frozen snapshots.
 	ParallelRefreshes int
 	// SerialRefreshes counts rows recomputed by the ordered re-check
 	// against the live spanner.
 	SerialRefreshes int
+	// RowsAllocated counts distinct bound rows the sparse store
+	// materialized; n minus RowsAllocated rows were never refreshed and
+	// cost no memory at all.
+	RowsAllocated int
+	// PeakBucketPairs is the largest candidate bucket the streamed supply
+	// held materialized at once (0 for materialized or custom supplies).
+	PeakBucketPairs int
 	// FinalBatchSize is the adaptive batch width at the end of the scan.
 	FinalBatchSize int
 }
 
+// boundStore is the sparse replacement for the dense n x n float64 bound
+// matrix: rows are allocated on first refresh, so vertices whose rows the
+// scan never recomputes cost nothing, and entries are 16-bit (bfloat16)
+// upper bounds rounded toward +Inf — 4x denser than float64 per touched
+// row, 8x-plus for untouched ones. A rounded-up upper bound is still an
+// upper bound, and the engine decides every non-certified pair with an
+// exact float64 Dijkstra distance, so the lossy cache can only affect
+// which pairs reach the exact re-check (a sub-percent wider refresh
+// shell), never the decision itself.
+type boundStore struct {
+	rows [][]uint16
+}
+
+// inf16 is +Inf in the bfloat16 encoding (high 16 bits of float32 +Inf).
+const inf16 = 0x7F80
+
+func newBoundStore(n int) *boundStore {
+	return &boundStore{rows: make([][]uint16, n)}
+}
+
+// enc16up encodes a non-negative float64 as the bfloat16 (high half of
+// float32) upper bound: the encoded value decodes to >= x. For
+// non-negative floats the bit pattern is monotone in the value, so uint16
+// comparisons order the encoded bounds correctly.
+func enc16up(x float64) uint16 {
+	f := float32(x)
+	if float64(f) < x {
+		f = math.Nextafter32(f, float32(math.Inf(1)))
+	}
+	bits := math.Float32bits(f)
+	h := uint16(bits >> 16)
+	if bits&0xFFFF != 0 {
+		h++ // truncation dropped precision; 0x7F7F+1 lands on +Inf
+	}
+	return h
+}
+
+// dec16 decodes a bfloat16 bound back to float64.
+func dec16(h uint16) float64 {
+	return float64(math.Float32frombits(uint32(h) << 16))
+}
+
+// get returns the best cached upper bound on delta_H(u, v), +Inf when
+// neither endpoint's row is materialized. Reading both rows subsumes the
+// dense matrix's symmetric mirror writes.
+func (b *boundStore) get(u, v int) float64 {
+	hu, hv := uint16(inf16), uint16(inf16)
+	if ru := b.rows[u]; ru != nil {
+		hu = ru[v]
+	}
+	if rv := b.rows[v]; rv != nil {
+		hv = rv[u]
+	}
+	if hv < hu {
+		hu = hv
+	}
+	return dec16(hu)
+}
+
+// row returns u's bound row, materializing it (all +Inf, zero diagonal) on
+// first use. Concurrent calls for distinct u are safe: each row slot is
+// written by exactly one owner and no shared counter is touched (countRows
+// tallies rows after the fact), so this stays data-race-free.
+func (b *boundStore) row(u int) []uint16 {
+	ru := b.rows[u]
+	if ru == nil {
+		ru = make([]uint16, len(b.rows))
+		for i := range ru {
+			ru[i] = inf16
+		}
+		ru[u] = 0
+		b.rows[u] = ru
+	}
+	return ru
+}
+
+// countRows counts the materialized rows (called from the serial
+// section, after any concurrent refreshes have joined).
+func (b *boundStore) countRows() int {
+	allocated := 0
+	for _, r := range b.rows {
+		if r != nil {
+			allocated++
+		}
+	}
+	return allocated
+}
+
+// foldRow folds an exact distance row into u's cached bound row,
+// tightening entries that improved.
+func (b *boundStore) foldRow(u int, dist []float64) {
+	ru := b.row(u)
+	for v, d := range dist {
+		if f := enc16up(d); f < ru[v] {
+			ru[v] = f
+		}
+	}
+}
+
+// set records an accepted edge's weight as a bound on its endpoints.
+func (b *boundStore) set(u, v int, w float64) {
+	ru := b.row(u)
+	if f := enc16up(w); f < ru[v] {
+		ru[v] = f
+	}
+}
+
 // GreedyMetricFastParallel computes the greedy t-spanner of a finite metric
 // space like GreedyMetricFastSerial — cached distance bounds in the spirit
-// of Bose et al. [BCF+10] — but refreshes the cached bound matrix's rows
-// concurrently over `workers` goroutines (0 selects GOMAXPROCS). The output
-// — edge sequence, weight, and EdgesExamined — is deterministic
-// (independent of workers, batching, and scheduling) and bit-identical to
+// of Bose et al. [BCF+10] — but refreshes the cached bound rows
+// concurrently over `workers` goroutines (0 selects GOMAXPROCS) and pulls
+// candidates from the streamed weight-bucketed supply instead of a
+// materialized, globally sorted pair list. The output — edge sequence,
+// weight, and EdgesExamined — is deterministic (independent of workers,
+// batching, bucketing, and scheduling) and bit-identical to
 // GreedyMetricFastSerial's, because both engines realize the exact greedy
 // decision for every pair.
 //
-// The engine scans the sorted pair list in batches. A serial pre-pass
+// The engine scans the supplied pairs in batches. A serial pre-pass
 // certifies every pair the cached bounds already cover. The remaining
 // pairs' source rows are then refreshed concurrently with full Dijkstra
 // runs against the *frozen* spanner snapshot H0 taken at the batch
@@ -70,15 +202,15 @@ type MetricParallelStats struct {
 // spanner H ⊇ H0 because adding edges only shrinks distances, so a skip it
 // certifies is final. Each row belongs to exactly one worker and workers
 // write nothing else, so the only synchronization is the join. Pairs the
-// snapshot cannot certify are re-checked serially, in exact greedy order,
-// against the live spanner — refresh row, re-test, then accept — exactly
-// the serial algorithm's decision procedure.
+// snapshot cannot certify are re-decided serially, in exact greedy order,
+// on exact float64 distances against the live spanner — exactly the serial
+// algorithm's decision procedure.
 func GreedyMetricFastParallel(m metric.Metric, t float64, workers int) (*Result, error) {
 	return GreedyMetricFastParallelOpts(m, t, MetricParallelOptions{Workers: workers})
 }
 
 // GreedyMetricFastParallelOpts is GreedyMetricFastParallel with explicit
-// batching controls; see MetricParallelOptions.
+// batching and supply controls; see MetricParallelOptions.
 func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParallelOptions) (*Result, error) {
 	if !validStretch(t) {
 		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
@@ -98,54 +230,72 @@ func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParalle
 	if n <= 1 {
 		return res, nil
 	}
-	pairs := sortedPairs(m)
-	res.EdgesExamined = len(pairs)
+	src := opts.Source
+	if src == nil {
+		if opts.Materialize {
+			src = NewMaterializedSource(sortedPairs(m))
+		} else {
+			src = NewMetricSource(m, opts.BucketPairs)
+		}
+	}
 
 	h := graph.New(n)
-	bound := newBoundMatrix(n)
+	bound := newBoundStore(n)
 	serial := graph.NewSearcher(n)
 	row := make([]float64, n)
 
-	// refresh recomputes row u against the live spanner and folds it into
-	// the bound matrix symmetrically, exactly like the serial engine.
-	refresh := func(u int) {
+	// refreshExact recomputes row u against the live spanner, folds it
+	// into the bound store, and returns the exact distance to v — the
+	// value the serial reference's decision uses.
+	refreshExact := func(u, v int) float64 {
 		serial.Distances(h, u, row)
-		bu := bound[u]
-		for v := 0; v < n; v++ {
-			if row[v] < bu[v] {
-				bu[v] = row[v]
-				bound[v][u] = row[v]
-			}
-		}
+		bound.foldRow(u, row)
 		stats.SerialRefreshes++
+		return row[v]
 	}
 	accept := func(e graph.Edge) {
 		h.MustAddEdge(e.U, e.V, e.W)
-		bound[e.U][e.V] = e.W
-		bound[e.V][e.U] = e.W
+		bound.set(e.U, e.V, e.W)
 		res.Edges = append(res.Edges, e)
 		res.Weight += e.W
 		stats.Kept++
 	}
+	finish := func() *Result {
+		stats.RowsAllocated = bound.countRows()
+		if bs, ok := src.(*bucketedSource); ok {
+			stats.PeakBucketPairs = bs.PeakBucket()
+		}
+		return res
+	}
 
 	if workers == 1 {
 		// Serial fast path: the cached-bound scan with reusable scratch,
-		// no snapshot pass.
-		stats.FinalBatchSize = serialBatchStat(opts.BatchSize, len(pairs))
-		for _, e := range pairs {
-			limit := t * e.W
-			if bound[e.U][e.V] <= limit {
-				stats.CachedSkips++
-				continue
-			}
-			refresh(e.U)
-			if bound[e.U][e.V] <= limit {
-				stats.SerialSkips++
-				continue
-			}
-			accept(e)
+		// no snapshot pass; the supply is still streamed.
+		chunk := opts.BatchSize
+		if chunk <= 0 {
+			chunk = maxBatch
 		}
-		return res, nil
+		for {
+			pairs := src.NextBatch(chunk)
+			if len(pairs) == 0 {
+				break
+			}
+			res.EdgesExamined += len(pairs)
+			for _, e := range pairs {
+				limit := t * e.W
+				if bound.get(e.U, e.V) <= limit {
+					stats.CachedSkips++
+					continue
+				}
+				if refreshExact(e.U, e.V) <= limit {
+					stats.SerialSkips++
+					continue
+				}
+				accept(e)
+			}
+		}
+		stats.FinalBatchSize = serialBatchStat(opts.BatchSize, res.EdgesExamined)
+		return finish(), nil
 	}
 
 	pool := make([]*graph.Searcher, workers)
@@ -154,14 +304,22 @@ func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParalle
 		pool[i] = graph.NewSearcher(n)
 		rows[i] = make([]float64, n)
 	}
-	cached := make([]bool, len(pairs))
-	// sources collects the distinct row indices the current batch needs
-	// refreshed; inBatch stamps membership per round.
-	var sources []int
+	var (
+		cached []bool
+		// exact[i] is pair i's exact snapshot distance, filled in phase 1
+		// for every pair the cache pre-pass could not certify.
+		exact []float64
+		// sources collects the distinct row indices the current batch
+		// needs refreshed; srcPairs[k] lists the batch positions whose
+		// source is sources[k]; inBatch/srcAt stamp membership per round.
+		sources  []int
+		srcPairs [][]int32
+	)
 	inBatch := make([]int, n)
 	for i := range inBatch {
 		inBatch[i] = -1
 	}
+	srcAt := make([]int, n)
 
 	batch := opts.BatchSize
 	adaptive := batch <= 0
@@ -169,31 +327,46 @@ func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParalle
 		batch = initialBatch(workers)
 	}
 
-	for lo := 0; lo < len(pairs); {
-		hi := lo + batch
-		if hi > len(pairs) {
-			hi = len(pairs)
+	for {
+		pairs := src.NextBatch(batch)
+		if len(pairs) == 0 {
+			break
 		}
+		res.EdgesExamined += len(pairs)
 		round := stats.Batches
 		stats.Batches++
+		if len(pairs) > len(cached) {
+			cached = make([]bool, len(pairs))
+			exact = make([]float64, len(pairs))
+		}
 
 		// Serial pre-pass: certify what the cache already covers and
 		// collect the rows the rest of the batch wants refreshed.
 		sources = sources[:0]
-		for i := lo; i < hi; i++ {
-			e := pairs[i]
-			if cached[i] = bound[e.U][e.V] <= t*e.W; cached[i] {
+		for i, e := range pairs {
+			if cached[i] = bound.get(e.U, e.V) <= t*e.W; cached[i] {
 				stats.CachedSkips++
-			} else if inBatch[e.U] != round {
-				inBatch[e.U] = round
-				sources = append(sources, e.U)
+				continue
 			}
+			if inBatch[e.U] != round {
+				inBatch[e.U] = round
+				srcAt[e.U] = len(sources)
+				sources = append(sources, e.U)
+				if len(srcPairs) < len(sources) {
+					srcPairs = append(srcPairs, nil)
+				}
+				srcPairs[len(sources)-1] = srcPairs[len(sources)-1][:0]
+			}
+			k := srcAt[e.U]
+			srcPairs[k] = append(srcPairs[k], int32(i))
 		}
 
 		// Phase 1: refresh the collected rows in parallel against the
 		// frozen h. Sources are partitioned so each bound row is written
-		// by exactly one worker, and workers read only h and their own
-		// scratch, so the only synchronization needed is the join.
+		// by exactly one worker; workers read only h and their own
+		// scratch, and additionally record each of their pairs' exact
+		// snapshot distances (disjoint exact[i] slots), so the only
+		// synchronization needed is the join.
 		var wg sync.WaitGroup
 		chunk := (len(sources) + workers - 1) / workers
 		for w := 0; w < workers && w*chunk < len(sources); w++ {
@@ -202,79 +375,66 @@ func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParalle
 				end = len(sources)
 			}
 			wg.Add(1)
-			go func(search *graph.Searcher, scratch []float64, srcs []int) {
+			go func(search *graph.Searcher, scratch []float64, start, end int) {
 				defer wg.Done()
-				for _, u := range srcs {
+				for k := start; k < end; k++ {
+					u := sources[k]
 					search.Distances(h, u, scratch)
-					bu := bound[u]
-					for v := range bu {
-						if scratch[v] < bu[v] {
-							bu[v] = scratch[v]
-						}
+					bound.foldRow(u, scratch)
+					for _, i := range srcPairs[k] {
+						exact[i] = scratch[pairs[i].V]
 					}
 				}
-			}(pool[w], rows[w], sources[start:end])
+			}(pool[w], rows[w], start, end)
 		}
 		wg.Wait()
 		stats.ParallelRefreshes += len(sources)
-		// Fold the refreshed rows into their mirror entries serially (the
-		// workers could not: column writes would collide across rows).
-		for _, u := range sources {
-			bu := bound[u]
-			for v := range bu {
-				if bu[v] < bound[v][u] {
-					bound[v][u] = bu[v]
-				}
-			}
-		}
 
 		// Phase 2: replay the uncertified survivors serially in greedy
-		// order against the live spanner. A survivor may still be skipped
-		// here when an edge accepted earlier in this same batch — or a
-		// fresher bound row — covers it, exactly as the serial scan would
-		// decide.
+		// order. Until this batch's first accept the live spanner equals
+		// the frozen snapshot, so the exact snapshot distance recorded in
+		// phase 1 already is the exact live distance; afterwards each
+		// survivor re-runs the exact refresh against the live spanner —
+		// exactly the serial scan's decision.
 		survivors := 0
 		acceptedInBatch := false
-		for i := lo; i < hi; i++ {
+		for i, e := range pairs {
 			if cached[i] {
 				continue
 			}
-			e := pairs[i]
 			limit := t * e.W
-			if bound[e.U][e.V] <= limit {
+			if bound.get(e.U, e.V) <= limit {
 				stats.CertifiedSkips++
 				continue
 			}
 			survivors++
-			// Until this batch's first accept the live spanner still
-			// equals the frozen snapshot, and every survivor's row was
-			// refreshed against it in phase 1 — bound[e.U][e.V] is already
-			// the exact live distance, so the serial refresh would change
-			// nothing.
+			d := exact[i]
 			if acceptedInBatch {
-				refresh(e.U)
-				if bound[e.U][e.V] <= limit {
-					stats.SerialSkips++
-					continue
-				}
+				d = refreshExact(e.U, e.V)
+			}
+			if d <= limit {
+				stats.SerialSkips++
+				continue
 			}
 			accept(e)
 			acceptedInBatch = true
 		}
 
-		span := hi - lo
-		lo = hi
-		if adaptive {
-			batch = adaptBatch(batch, survivors, span)
+		// Adapt only on full-width rounds: a batch truncated at a bucket
+		// boundary says nothing about snapshot staleness, the signal the
+		// policy tracks.
+		if adaptive && len(pairs) == batch {
+			batch = adaptBatch(batch, survivors, len(pairs))
 		}
 	}
 	stats.FinalBatchSize = batch
-	return res, nil
+	return finish(), nil
 }
 
 // sortedPairs materializes all n(n-1)/2 interpoint distances of m as edges
 // in the greedy scan order: non-decreasing weight, ties broken by endpoint
-// ids.
+// ids. This is the classic supply the streamed sources replace; it remains
+// the reference for the serial engine and the Materialize option.
 func sortedPairs(m metric.Metric) []graph.Edge {
 	n := m.N()
 	pairs := make([]graph.Edge, 0, n*(n-1)/2)
@@ -287,8 +447,9 @@ func sortedPairs(m metric.Metric) []graph.Edge {
 	return pairs
 }
 
-// newBoundMatrix allocates the n x n upper-bound matrix: zero diagonal,
-// +Inf (unknown) everywhere else, backed by one contiguous allocation.
+// newBoundMatrix allocates the dense n x n upper-bound matrix of the
+// serial reference engine: zero diagonal, +Inf (unknown) everywhere else,
+// backed by one contiguous allocation.
 func newBoundMatrix(n int) [][]float64 {
 	flat := make([]float64, n*n)
 	for i := range flat {

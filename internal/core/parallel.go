@@ -20,6 +20,20 @@ type ParallelOptions struct {
 	// the width grows while batches certify cleanly and shrinks when too
 	// many edges fall through to the serial re-check.
 	BatchSize int
+	// Source overrides the candidate supply. The default is the streamed
+	// weight-bucketed supply of NewGraphEdgeSource; any CandidateSource
+	// emitting all of g's edges in greedy scan order yields the identical
+	// spanner.
+	Source CandidateSource
+	// Materialize forces the classic supply (one globally sorted O(m)
+	// copy of the edge list, as GreedyGraph scans). Output is identical
+	// either way. Ignored when Source is set.
+	Materialize bool
+	// BucketPairs caps how many candidates the default streamed supply
+	// holds materialized at once; <= 0 selects DefaultBucketPairs (scaled
+	// up on very large instances). Ignored when Source is set or
+	// Materialize is true.
+	BucketPairs int
 	// Stats, when non-nil, is filled with engine counters for ablations
 	// and benchmarks.
 	Stats *ParallelStats
@@ -37,6 +51,9 @@ type ParallelStats struct {
 	SerialSkips int
 	// Kept counts accepted edges.
 	Kept int
+	// PeakBucketPairs is the largest candidate bucket the streamed supply
+	// held materialized at once (0 for materialized or custom supplies).
+	PeakBucketPairs int
 	// FinalBatchSize is the adaptive batch width at the end of the scan.
 	FinalBatchSize int
 }
@@ -109,7 +126,7 @@ func GreedyGraphParallel(g *graph.Graph, t float64, workers int) (*Result, error
 }
 
 // GreedyGraphParallelOpts is GreedyGraphParallel with explicit batching
-// controls; see ParallelOptions.
+// and supply controls; see ParallelOptions.
 func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*Result, error) {
 	if !validStretch(t) {
 		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
@@ -119,8 +136,15 @@ func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := g.N()
-	edges := g.SortedEdges()
-	res := &Result{N: n, Stretch: t, EdgesExamined: len(edges)}
+	src := opts.Source
+	if src == nil {
+		if opts.Materialize {
+			src = NewMaterializedSource(g.SortedEdges())
+		} else {
+			src = NewGraphEdgeSource(g, opts.BucketPairs)
+		}
+	}
+	res := &Result{N: n, Stretch: t}
 	h := graph.New(n)
 	serial := graph.NewSearcher(n)
 	stats := opts.Stats
@@ -135,27 +159,44 @@ func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*
 		res.Weight += e.W
 		stats.Kept++
 	}
+	finish := func() *Result {
+		if bs, ok := src.(*bucketedSource); ok {
+			stats.PeakBucketPairs = bs.PeakBucket()
+		}
+		return res
+	}
 
 	if workers == 1 {
 		// Serial fast path: no snapshot pass, every edge tested once
 		// against the live spanner, exactly like GreedyGraph but with the
-		// bidirectional primitive.
-		stats.FinalBatchSize = serialBatchStat(opts.BatchSize, len(edges))
-		for _, e := range edges {
-			if _, within := serial.BidirDistanceWithin(h, e.U, e.V, t*e.W); within {
-				stats.SerialSkips++
-				continue
-			}
-			accept(e)
+		// bidirectional primitive; the supply is still streamed.
+		chunk := opts.BatchSize
+		if chunk <= 0 {
+			chunk = maxBatch
 		}
-		return res, nil
+		for {
+			edges := src.NextBatch(chunk)
+			if len(edges) == 0 {
+				break
+			}
+			res.EdgesExamined += len(edges)
+			for _, e := range edges {
+				if _, within := serial.BidirDistanceWithin(h, e.U, e.V, t*e.W); within {
+					stats.SerialSkips++
+					continue
+				}
+				accept(e)
+			}
+		}
+		stats.FinalBatchSize = serialBatchStat(opts.BatchSize, res.EdgesExamined)
+		return finish(), nil
 	}
 
 	pool := make([]*graph.Searcher, workers)
 	for i := range pool {
 		pool[i] = graph.NewSearcher(n)
 	}
-	certified := make([]bool, len(edges))
+	var certified []bool
 
 	batch := opts.BatchSize
 	adaptive := batch <= 0
@@ -163,26 +204,27 @@ func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*
 		batch = initialBatch(workers)
 	}
 
-	for lo := 0; lo < len(edges); {
-		hi := lo + batch
-		if hi > len(edges) {
-			hi = len(edges)
+	for {
+		edges := src.NextBatch(batch)
+		if len(edges) == 0 {
+			break
 		}
+		res.EdgesExamined += len(edges)
 		stats.Batches++
+		if len(edges) > len(certified) {
+			certified = make([]bool, len(edges))
+		}
 
 		// Phase 1: certify skips in parallel against the frozen h. The
 		// workers only read h and write disjoint certified[i] slots, so
 		// the only synchronization needed is the join below.
 		var wg sync.WaitGroup
-		span := hi - lo
+		span := len(edges)
 		chunk := (span + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			start, end := lo+w*chunk, lo+(w+1)*chunk
-			if start >= hi {
-				break
-			}
-			if end > hi {
-				end = hi
+		for w := 0; w < workers && w*chunk < span; w++ {
+			start, end := w*chunk, (w+1)*chunk
+			if end > span {
+				end = span
 			}
 			wg.Add(1)
 			go func(search *graph.Searcher, start, end int) {
@@ -201,13 +243,12 @@ func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*
 		// here when an edge accepted earlier in this same batch created a
 		// path for it — exactly as the sequential scan would decide.
 		survivors := 0
-		for i := lo; i < hi; i++ {
+		for i, e := range edges {
 			if certified[i] {
 				stats.CertifiedSkips++
 				continue
 			}
 			survivors++
-			e := edges[i]
 			if _, within := serial.BidirDistanceWithin(h, e.U, e.V, t*e.W); within {
 				stats.SerialSkips++
 				continue
@@ -215,11 +256,13 @@ func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*
 			accept(e)
 		}
 
-		lo = hi
-		if adaptive {
+		// Adapt only on full-width rounds: a batch truncated at a bucket
+		// boundary says nothing about snapshot staleness, the signal the
+		// policy tracks.
+		if adaptive && span == batch {
 			batch = adaptBatch(batch, survivors, span)
 		}
 	}
 	stats.FinalBatchSize = batch
-	return res, nil
+	return finish(), nil
 }

@@ -1,7 +1,9 @@
 // Package geom provides the computational-geometry substrate for the
-// baseline Euclidean spanner constructions: axis-aligned bounding boxes, a
-// fair split tree (Callahan–Kosaraju), and the well-separated pair
-// decomposition (WSPD) built on it. Works in any dimension d >= 1.
+// Euclidean spanner constructions: axis-aligned bounding boxes, a fair
+// split tree (Callahan–Kosaraju), the well-separated pair decomposition
+// (WSPD) built on it, and the grid pair enumerator that produces the
+// distance buckets of the streamed greedy candidate supply without
+// touching farther pairs. Works in any dimension d >= 1.
 package geom
 
 import (

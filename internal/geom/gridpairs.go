@@ -1,0 +1,214 @@
+package geom
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// GridEnumerator enumerates the point pairs of a Euclidean point set whose
+// distance falls in a weight range [lo, hi), using a uniform grid with
+// cell size just above hi: a pair at distance < hi differs by less than a
+// cell in every coordinate, so its two cells are identical or
+// axis-adjacent, and only the 3^d neighborhood of each occupied cell is
+// ever inspected. Producing
+// the pairs of one distance bucket therefore never touches pairs farther
+// than the bucket's upper edge — the enumeration cost scales with the
+// number of pairs at or below the bucket, not with n^2.
+//
+// Distances are reported by the caller-supplied dist function (typically
+// metric.Euclidean.Dist), so downstream consumers see weights
+// bit-identical to the materialized pipeline's; the grid only decides
+// which pairs get tested.
+type GridEnumerator struct {
+	pts  [][]float64
+	dist func(i, j int) float64
+	dim  int
+	// boxLo is the per-dimension lower corner, boxSpan the extents.
+	boxLo, boxSpan []float64
+	// Reused across Pairs calls so repeated bucket production does not
+	// leave a trail of per-call garbage: the packed cell coordinates, the
+	// cell hash, the per-cell member lists' backing, and the offset set.
+	coords    []int64
+	cellOf    map[string]int32
+	cells     [][]int32
+	cellCoord [][]int64
+	offsets   [][]int64
+}
+
+// NewGridEnumerator builds a grid enumerator over pts (all sharing one
+// dimension) with the given distance oracle.
+func NewGridEnumerator(pts [][]float64, dist func(i, j int) float64) *GridEnumerator {
+	e := &GridEnumerator{pts: pts, dist: dist}
+	if len(pts) == 0 {
+		return e
+	}
+	e.dim = len(pts[0])
+	e.boxLo = append([]float64(nil), pts[0]...)
+	hi := append([]float64(nil), pts[0]...)
+	for _, p := range pts[1:] {
+		for k, c := range p {
+			if c < e.boxLo[k] {
+				e.boxLo[k] = c
+			}
+			if c > hi[k] {
+				hi[k] = c
+			}
+		}
+	}
+	e.boxSpan = make([]float64, e.dim)
+	for k := range hi {
+		e.boxSpan[k] = hi[k] - e.boxLo[k]
+	}
+	return e
+}
+
+// maxCellsPerDim guards the float64 cell-coordinate computation: the
+// quotient (c-boxLo)/hi carries relative error ~2^-52, so at q cells per
+// axis the absolute error is ~q*2^-52 cells — with q capped at 2^25 that
+// is < 2^-27 of a cell, far too small to ever shift a floor() across a
+// boundary and strand an in-range pair outside the 3^d neighborhood.
+// Narrower ranges fall back to the brute-force scan, which is always
+// correct; such ranges hold few pairs, so the fallback is cheap in
+// aggregate.
+const maxCellsPerDim = 1 << 25
+
+// Pairs calls fn exactly once for every unordered pair (u, v), u < v, with
+// dist(u, v) in [lo, hi) — hi == +Inf includes infinite distances. Pairs
+// with distance beyond the range's upper edge are never evaluated unless
+// the grid degenerates (hi at or beyond the point spread, or too fine to
+// index safely).
+func (e *GridEnumerator) Pairs(lo, hi float64, fn func(u, v int, w float64)) {
+	n := len(e.pts)
+	if n < 2 {
+		return
+	}
+	// Cells are padded a relative 2^-20 wider than the range: an in-range
+	// pair's per-axis difference is then < cell*(1 - 2^-21), and with the
+	// quotient rounding error capped below 2^-26 cells (maxCellsPerDim),
+	// computed cell indices provably differ by at most 1 per axis — no
+	// in-range pair can ever escape the 3^d neighborhood.
+	cell := hi * (1 + 1.0/(1<<20))
+	usable := cell > 0 && !math.IsInf(cell, 1)
+	for k := 0; usable && k < e.dim; k++ {
+		if e.boxSpan[k]/cell >= maxCellsPerDim {
+			usable = false
+		}
+	}
+	if !usable {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if w := e.dist(i, j); graph.WeightInRange(w, lo, hi) {
+					fn(i, j, w)
+				}
+			}
+		}
+		return
+	}
+
+	// Bucket the points into cells of side `cell`, keyed by packed integer
+	// coordinates. All buffers (and the member lists' backing arrays) are
+	// reused across calls.
+	if cap(e.coords) < n*e.dim {
+		e.coords = make([]int64, n*e.dim)
+	}
+	coords := e.coords[:n*e.dim]
+	if e.cellOf == nil {
+		e.cellOf = make(map[string]int32, n)
+	} else {
+		clear(e.cellOf)
+	}
+	cellOf := e.cellOf
+	e.cellCoord = e.cellCoord[:0]
+	nCells := 0
+	key := make([]byte, 8*e.dim)
+	for i, p := range e.pts {
+		cc := coords[i*e.dim : (i+1)*e.dim]
+		for k, c := range p {
+			cc[k] = int64((c - e.boxLo[k]) / cell)
+			binary.LittleEndian.PutUint64(key[8*k:], uint64(cc[k]))
+		}
+		id, ok := cellOf[string(key)]
+		if !ok {
+			id = int32(nCells)
+			cellOf[string(key)] = id
+			if nCells < len(e.cells) {
+				e.cells[nCells] = e.cells[nCells][:0]
+			} else {
+				e.cells = append(e.cells, nil)
+			}
+			e.cellCoord = append(e.cellCoord, cc)
+			nCells++
+		}
+		e.cells[id] = append(e.cells[id], int32(i))
+	}
+	cells := e.cells[:nCells]
+	cellCoord := e.cellCoord
+
+	emit := func(i, j int32) {
+		u, v := int(i), int(j)
+		if u > v {
+			u, v = v, u
+		}
+		if w := e.dist(u, v); graph.WeightInRange(w, lo, hi) {
+			fn(u, v, w)
+		}
+	}
+
+	// Within-cell pairs once per cell; cross-cell pairs once per
+	// lexicographically positive offset in {-1, 0, 1}^d.
+	if e.offsets == nil {
+		e.offsets = positiveOffsets(e.dim)
+	}
+	offsets := e.offsets
+	nb := make([]int64, e.dim)
+	for id, members := range cells {
+		for a := 0; a < len(members); a++ {
+			for b := a + 1; b < len(members); b++ {
+				emit(members[a], members[b])
+			}
+		}
+		for _, off := range offsets {
+			for k := range nb {
+				nb[k] = cellCoord[id][k] + off[k]
+				binary.LittleEndian.PutUint64(key[8*k:], uint64(nb[k]))
+			}
+			other, ok := cellOf[string(key)]
+			if !ok {
+				continue
+			}
+			for _, i := range members {
+				for _, j := range cells[other] {
+					emit(i, j)
+				}
+			}
+		}
+	}
+}
+
+// positiveOffsets returns the lexicographically positive half of
+// {-1, 0, 1}^d (first nonzero component is +1), so each unordered pair of
+// adjacent cells is visited exactly once.
+func positiveOffsets(d int) [][]int64 {
+	var out [][]int64
+	cur := make([]int64, d)
+	var rec func(k int, positive bool)
+	rec = func(k int, positive bool) {
+		if k == d {
+			if positive {
+				out = append(out, append([]int64(nil), cur...))
+			}
+			return
+		}
+		for _, v := range [3]int64{-1, 0, 1} {
+			if !positive && v == -1 {
+				continue // first nonzero component must be +1
+			}
+			cur[k] = v
+			rec(k+1, positive || v == 1)
+		}
+	}
+	rec(0, false)
+	return out
+}

@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDistanceWithinAvoidingMatchesWithoutEdge cross-checks the in-place
+// edge-avoiding search against the materializing WithoutEdge reference on
+// random graphs: for every edge, the avoided distance must equal the
+// distance in the copy with one occurrence removed.
+func TestDistanceWithinAvoidingMatchesWithoutEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 5; trial++ {
+		n := 20 + rng.Intn(20)
+		g := New(n)
+		m := 3 * n
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			g.MustAddEdge(u, v, 0.5+rng.Float64())
+		}
+		search := NewSearcher(n)
+		for _, e := range g.Edges() {
+			rest, err := g.WithoutEdge(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			limit := 10.0
+			wantD, wantOK := rest.DistanceWithin(e.U, e.V, limit)
+			gotD, gotOK := search.DistanceWithinAvoiding(g, e.U, e.V, limit, e)
+			if wantOK != gotOK || wantD != gotD {
+				t.Fatalf("trial %d edge %+v: avoided (%v, %v), WithoutEdge reference (%v, %v)",
+					trial, e, gotD, gotOK, wantD, wantOK)
+			}
+		}
+	}
+}
+
+// TestDistanceWithinAvoidingParallelCopies pins the one-occurrence
+// semantics: with two identical parallel edges, avoiding one must leave
+// the other usable.
+func TestDistanceWithinAvoidingParallelCopies(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 1, 1) // parallel copy
+	g.MustAddEdge(0, 2, 1.5)
+	g.MustAddEdge(2, 1, 1.5)
+	search := NewSearcher(3)
+	if d, ok := search.DistanceWithinAvoiding(g, 0, 1, 10, Edge{U: 0, V: 1, W: 1}); !ok || d != 1 {
+		t.Fatalf("parallel copy should remain: got (%v, %v), want (1, true)", d, ok)
+	}
+	single := New(3)
+	single.MustAddEdge(0, 1, 1)
+	single.MustAddEdge(0, 2, 1.5)
+	single.MustAddEdge(2, 1, 1.5)
+	if d, ok := search.DistanceWithinAvoiding(single, 0, 1, 10, Edge{U: 0, V: 1, W: 1}); !ok || d != 3 {
+		t.Fatalf("detour expected: got (%v, %v), want (3, true)", d, ok)
+	}
+}

@@ -140,6 +140,55 @@ func (g *Graph) dijkstra(src, dst int, limit float64, scratch *dijkstraScratch) 
 	return &ShortestPaths{Source: src, Dist: s.dist, Parent: s.parent}
 }
 
+// dijkstraAvoiding is dijkstra on g minus one occurrence of edge avoid.
+// The first matching half-edge relaxed in each direction is skipped (each
+// adjacency list is scanned at most once per query, since the indexed
+// heap settles every vertex once), which equals removing a single
+// occurrence of the undirected edge: further parallel copies with the
+// same endpoints and weight still relax. The relaxation loop deliberately
+// mirrors dijkstra above rather than adding an avoid branch to it — that
+// loop is the hot path of every greedy query — so a change to either loop
+// must be reflected in the other (TestDistanceWithinAvoidingMatchesWithoutEdge
+// cross-checks them). The caller owns the scratch and must reset it.
+func (g *Graph) dijkstraAvoiding(src, dst int, limit float64, avoid Edge, s *dijkstraScratch) {
+	avoid = avoid.Canonical()
+	skippedFwd, skippedRev := false, false
+	s.dist[src] = 0
+	s.touched = append(s.touched, int32(src))
+	s.heap.Push(src, 0)
+	for s.heap.Len() > 0 {
+		u, du := s.heap.Pop()
+		if u == dst {
+			break
+		}
+		for _, h := range g.adj[u] {
+			v := int(h.to)
+			if h.w == avoid.W {
+				if !skippedFwd && u == avoid.U && v == avoid.V {
+					skippedFwd = true
+					continue
+				}
+				if !skippedRev && u == avoid.V && v == avoid.U {
+					skippedRev = true
+					continue
+				}
+			}
+			nd := du + h.w
+			if nd > limit {
+				continue
+			}
+			if nd < s.dist[v] {
+				if s.dist[v] == Inf {
+					s.touched = append(s.touched, int32(v))
+				}
+				s.dist[v] = nd
+				s.parent[v] = int32(u)
+				s.heap.Push(v, nd)
+			}
+		}
+	}
+}
+
 // APSP computes all-pairs shortest-path distances by running Dijkstra from
 // every vertex. The result is an n x n matrix; row i holds distances from i.
 // Time O(n (m + n) log n); intended for the metric-space constructions where

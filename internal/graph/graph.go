@@ -207,6 +207,30 @@ func (g *Graph) SortedEdges() []Edge {
 	return es
 }
 
+// EdgesInRange calls fn for every edge with weight in [lo, hi), in storage
+// order (hi == +Inf matches every edge — AddEdge only admits finite
+// positive weights). It is the supplier primitive of the streaming
+// candidate engine (core.NewGraphEdgeSource): the bucketed source
+// partitions the weight axis and collects one bucket at a time through
+// this method, so no sorted copy of the whole edge list is ever
+// materialized.
+func (g *Graph) EdgesInRange(lo, hi float64, fn func(Edge)) {
+	for _, e := range g.edges {
+		if lo <= e.W && e.W < hi {
+			fn(e)
+		}
+	}
+}
+
+// WeightInRange is the half-open weight-range predicate shared by every
+// candidate enumerator of the streaming supply: [lo, hi), except that
+// hi == +Inf additionally admits w == +Inf, so infinite weights (a custom
+// metric's "disconnected" sentinel) are assigned to the unbounded range
+// exactly once instead of never. NaN weights are outside every range.
+func WeightInRange(w, lo, hi float64) bool {
+	return w >= lo && (w < hi || w == hi && math.IsInf(hi, 1))
+}
+
 // SortEdges sorts es in non-decreasing order of weight with deterministic
 // (U, V) tie-breaking, in place.
 func SortEdges(es []Edge) {

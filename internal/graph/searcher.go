@@ -58,6 +58,26 @@ func (s *Searcher) BidirDistanceWithin(g *Graph, src, dst int, limit float64) (f
 	return Inf, false
 }
 
+// DistanceWithinAvoiding is DistanceWithin on the graph g minus one
+// occurrence of edge avoid: it reports the shortest src–dst distance that
+// uses at most limit weight and does not traverse the avoided edge, and
+// (Inf, false) when no such path exists. Parallel copies of avoid (same
+// endpoints and weight) remain usable, matching Graph.WithoutEdge
+// semantics — but without materializing the reduced graph, which is what
+// makes an O(m)-allocation VerifySelfSpanner sweep possible.
+func (s *Searcher) DistanceWithinAvoiding(g *Graph, src, dst int, limit float64, avoid Edge) (float64, bool) {
+	if src == dst {
+		return 0, true
+	}
+	g.dijkstraAvoiding(src, dst, limit, avoid, s.scratch)
+	d := s.scratch.dist[dst]
+	s.scratch.reset()
+	if d <= limit {
+		return d, true
+	}
+	return Inf, false
+}
+
 // Distances computes single-source shortest-path distances from src in g,
 // filling dst (length n) with the result. Unreachable vertices get Inf.
 func (s *Searcher) Distances(g *Graph, src int, dst []float64) {

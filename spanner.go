@@ -11,10 +11,16 @@
 //     Both engines share the batched-certification architecture: sorted
 //     candidates are scanned in adaptive batches, skips are certified
 //     concurrently against a frozen spanner snapshot (bounded
-//     bidirectional Dijkstra on graphs; cached bound-matrix row refreshes
-//     on metrics), and the survivors are re-checked serially in greedy
+//     bidirectional Dijkstra on graphs; cached bound-row refreshes on
+//     metrics), and the survivors are re-checked serially in greedy
 //     order — so parallel output is deterministic and bit-identical to
 //     the sequential scan while construction runs across all cores.
+//     Candidates are streamed from a weight-bucketed CandidateSource
+//     (grid-bucketed on Euclidean metrics) and metric distance bounds
+//     live in sparse rows allocated on first refresh, so memory scales
+//     with the active weight bucket and the spanner's working set
+//     instead of the Θ(n²) materialize-then-sort pipeline; see
+//     GreedyMetricParallelOpts and GreedyParallelOpts for the knobs.
 //   - ApproxGreedy — the O(n log n)-style approximate-greedy algorithm for
 //     doubling metrics (Section 5, Theorem 6), with constant lightness and
 //     degree.
@@ -53,6 +59,27 @@ type Edge = graph.Edge
 
 // Result re-exports the spanner construction result.
 type Result = core.Result
+
+// CandidateSource re-exports the streaming candidate-supply interface: a
+// source of spanner candidates in greedy scan order, pulled batch by
+// batch so memory scales with the active weight bucket instead of the
+// full candidate set.
+type CandidateSource = core.CandidateSource
+
+// ParallelOptions re-exports the graph engine's tuning knobs (workers,
+// batch width, candidate supply, stats).
+type ParallelOptions = core.ParallelOptions
+
+// ParallelStats re-exports the graph engine's counters.
+type ParallelStats = core.ParallelStats
+
+// MetricParallelOptions re-exports the metric engine's tuning knobs
+// (workers, batch width, candidate supply, bucket cap, stats).
+type MetricParallelOptions = core.MetricParallelOptions
+
+// MetricParallelStats re-exports the metric engine's counters, including
+// the sparse bound-row and streamed-supply memory figures.
+type MetricParallelStats = core.MetricParallelStats
 
 // Metric re-exports the finite metric-space interface.
 type Metric = metric.Metric
@@ -97,6 +124,16 @@ func GreedyParallel(g *Graph, t float64, workers int) (*Result, error) {
 	return core.GreedyGraphParallel(g, t, workers)
 }
 
+// GreedyParallelOpts is GreedyParallel with explicit batching and
+// candidate-supply controls. By default the engine streams candidates from
+// a weight-bucketed supply (NewGraphEdgeSource) instead of sorting a full
+// copy of the edge list; set Materialize to force the classic sorted-copy
+// supply, or Source to plug in a custom one. Output is bit-identical to
+// Greedy for any supply that emits the edges in greedy scan order.
+func GreedyParallelOpts(g *Graph, t float64, opts ParallelOptions) (*Result, error) {
+	return core.GreedyGraphParallelOpts(g, t, opts)
+}
+
 // GreedyMetric computes the greedy t-spanner of a finite metric space by
 // examining all pairwise distances ("path-greedy"). It is routed through
 // the batched cached-bound metric engine (GreedyMetricParallel with
@@ -115,14 +152,42 @@ func GreedyMetricFast(m Metric, t float64) (*Result, error) { return core.Greedy
 // GreedyMetricParallel computes the same spanner as GreedyMetric and
 // GreedyMetricFast — identical edge sequence, weight, and counters — with
 // explicit control over the worker count (0 selects GOMAXPROCS). The
-// engine scans the sorted pair list in adaptive batches: cached bounds
-// certify most skips outright, the remaining rows of the bound matrix are
-// refreshed concurrently against a frozen snapshot of the growing spanner
-// (valid because cached upper bounds only tighten as edges are added), and
-// only the uncertified pairs are re-examined serially in exact greedy
-// order.
+// engine pulls the pairs in scan order from the streamed weight-bucketed
+// supply and examines them in adaptive batches: cached bounds certify
+// most skips outright, the remaining sparse bound rows are refreshed
+// concurrently against a frozen snapshot of the growing spanner (valid
+// because cached upper bounds only tighten as edges are added), and only
+// the uncertified pairs are re-examined serially in exact greedy order.
 func GreedyMetricParallel(m Metric, t float64, workers int) (*Result, error) {
 	return core.GreedyMetricFastParallel(m, t, workers)
+}
+
+// GreedyMetricParallelOpts is GreedyMetricParallel with explicit batching
+// and candidate-supply controls. By default the engine streams the
+// n(n-1)/2 candidate pairs from a weight-bucketed supply (grid-bucketed on
+// Euclidean metrics, so a bucket is produced without touching farther
+// pairs at all) and keeps distance bounds in sparse rows allocated on
+// first refresh — memory scales with the spanner's working set, not with
+// n^2. Set Materialize to force the classic materialize-then-sort supply,
+// BucketPairs to cap the streamed supply's resident bucket, or Source to
+// plug in a custom supply. Output is bit-identical in every mode.
+func GreedyMetricParallelOpts(m Metric, t float64, opts MetricParallelOptions) (*Result, error) {
+	return core.GreedyMetricFastParallelOpts(m, t, opts)
+}
+
+// NewMetricCandidateSource returns the streamed weight-bucketed candidate
+// supply over all interpoint pairs of m in greedy scan order; bucketPairs
+// <= 0 selects the default cap. Useful for driving GreedyMetricParallelOpts
+// with a shared or instrumented supply.
+func NewMetricCandidateSource(m Metric, bucketPairs int) CandidateSource {
+	return core.NewMetricSource(m, bucketPairs)
+}
+
+// NewGraphCandidateSource returns the streamed weight-bucketed supply over
+// g's edge list in greedy scan order; bucketPairs <= 0 selects the default
+// cap.
+func NewGraphCandidateSource(g *Graph, bucketPairs int) CandidateSource {
+	return core.NewGraphEdgeSource(g, bucketPairs)
 }
 
 // ApproxGreedy runs the approximate-greedy (1+eps)-spanner algorithm for
