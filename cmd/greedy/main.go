@@ -10,6 +10,10 @@
 //	greedy -t 3 -graph edges.txt -workers -1     # sequential reference scan
 //	greedy -t 1.5 -points pts.txt -workers 4     # parallel cached-bound metric engine
 //	greedy -t 1.5 -points pts.txt -workers -1    # serial cached-bound reference
+//	greedy -t 1.5 -points pts.txt -insert 10     # incremental: build on all but the
+//	                                             # last 10 inputs, insert those via
+//	                                             # the maintained spanner
+//	greedy -t 3 -graph edges.txt -insert 25      # same for the last 25 edges
 //
 // Graph files list one edge per line as "u v w" with integer vertex ids
 // (vertex count is inferred as max id + 1). Point files list one point per
@@ -49,6 +53,7 @@ func run(args []string, out *os.File) error {
 	pointsPath := fs.String("points", "", "path to a point-set file")
 	algo := fs.String("algo", "greedy", "construction: greedy or approx (points only)")
 	workers := fs.Int("workers", 0, "parallel greedy workers (0 = GOMAXPROCS, -1 = sequential reference engine)")
+	insert := fs.Int("insert", 0, "build on all but the last k inputs, then add those through the incremental engine")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,16 +62,24 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("use exactly one of -graph or -points")
 	case *pointsPath != "" && *algo == "approx" && *workers != 0:
 		return fmt.Errorf("-workers applies to the greedy constructions only")
+	case *insert < 0:
+		return fmt.Errorf("-insert must be >= 0, got %d", *insert)
+	case *insert > 0 && *workers < 0:
+		return fmt.Errorf("-insert uses the incremental engine; it has no sequential reference mode (-workers -1)")
+	case *insert > 0 && *algo != "greedy":
+		return fmt.Errorf("-insert applies to the greedy construction only")
 	case *graphPath != "":
 		g, err := readGraph(*graphPath)
 		if err != nil {
 			return err
 		}
-		// The parallel engine produces the same spanner as the sequential
-		// scan; -workers -1 keeps the reference path reachable for
-		// cross-checking.
 		var res *core.Result
-		if *workers < 0 {
+		if *insert > 0 {
+			res, err = incrementalGraph(g, *t, *workers, *insert)
+		} else if *workers < 0 {
+			// The parallel engine produces the same spanner as the
+			// sequential scan; -workers -1 keeps the reference path
+			// reachable for cross-checking.
 			res, err = core.GreedyGraph(g, *t)
 		} else {
 			res, err = core.GreedyGraphParallel(g, *t, *workers)
@@ -86,11 +99,13 @@ func run(args []string, out *os.File) error {
 		}
 		switch *algo {
 		case "greedy":
-			// The parallel metric engine produces the same spanner as the
-			// serial cached-bound scan; -workers -1 keeps the reference
-			// path reachable for cross-checking.
 			var res *core.Result
-			if *workers < 0 {
+			if *insert > 0 {
+				res, err = incrementalPoints(pts, *t, *workers, *insert)
+			} else if *workers < 0 {
+				// The parallel metric engine produces the same spanner as
+				// the serial cached-bound scan; -workers -1 keeps the
+				// reference path reachable for cross-checking.
 				res, err = core.GreedyMetricFastSerial(m, *t)
 			} else {
 				res, err = core.GreedyMetricFastParallel(m, *t, *workers)
@@ -114,6 +129,49 @@ func run(args []string, out *os.File) error {
 	default:
 		return fmt.Errorf("one of -graph or -points is required")
 	}
+}
+
+// incrementalPoints builds the spanner of all but the last k points and
+// inserts those through the maintained incremental spanner — the output is
+// identical to a from-scratch build on the full point set.
+func incrementalPoints(pts [][]float64, t float64, workers, k int) (*core.Result, error) {
+	if k >= len(pts) {
+		return nil, fmt.Errorf("-insert %d holds out every one of the %d points", k, len(pts))
+	}
+	base, err := metric.NewEuclidean(pts[:len(pts)-k])
+	if err != nil {
+		return nil, err
+	}
+	inc, err := core.NewIncrementalMetric(base, t, core.MetricParallelOptions{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	union, err := metric.NewEuclidean(pts)
+	if err != nil {
+		return nil, err
+	}
+	if err := inc.Insert(union); err != nil {
+		return nil, err
+	}
+	return inc.Result(), nil
+}
+
+// incrementalGraph builds the spanner of g minus its last k edges (input
+// order) and inserts those through the maintained incremental spanner.
+func incrementalGraph(g *graph.Graph, t float64, workers, k int) (*core.Result, error) {
+	edges := g.Edges()
+	if k >= len(edges) {
+		return nil, fmt.Errorf("-insert %d holds out every one of the %d edges", k, len(edges))
+	}
+	base := g.Subgraph(edges[:len(edges)-k])
+	inc, err := core.NewIncrementalGraph(base, t, core.ParallelOptions{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	if err := inc.InsertEdges(edges[len(edges)-k:]...); err != nil {
+		return nil, err
+	}
+	return inc.Result(), nil
 }
 
 func readGraph(path string) (*graph.Graph, error) {

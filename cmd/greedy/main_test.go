@@ -75,6 +75,45 @@ func TestRunPointsWorkers(t *testing.T) {
 	}
 }
 
+func TestRunPointsInsert(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&sb, "%.4f %.4f\n", float64(i%8)*0.19, float64(i/8)*0.31)
+	}
+	path := writeTemp(t, "p.txt", sb.String())
+	want, err := runCapture(t, []string{"-t", "1.5", "-points", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := runCapture(t, []string{"-t", "1.5", "-points", path, "-insert", "10", "-workers", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("-insert diverged from the from-scratch build:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestRunGraphInsert(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&sb, "%d %d %.3f\n", i, (i+1)%20, 1+float64(i%5)*0.1)
+		fmt.Fprintf(&sb, "%d %d %.3f\n", i, (i+7)%20, 2+float64(i%3)*0.2)
+	}
+	path := writeTemp(t, "g.txt", sb.String())
+	want, err := runCapture(t, []string{"-t", "2", "-graph", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := runCapture(t, []string{"-t", "2", "-graph", path, "-insert", "12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("-insert diverged from the from-scratch build:\n%s\nvs\n%s", got, want)
+	}
+}
+
 func TestRunPointsApprox(t *testing.T) {
 	var sb strings.Builder
 	for i := 0; i < 20; i++ {
@@ -101,6 +140,11 @@ func TestRunErrors(t *testing.T) {
 		{"-points", p, "-algo", "nope"},                                 // unknown algo
 		{"-points", p, "-algo", "approx", "-t", "3"},                    // approx needs t < 2
 		{"-points", p, "-algo", "approx", "-t", "1.5", "-workers", "4"}, // -workers is greedy-only
+		{"-points", p, "-insert", "-1"},                                 // negative holdout
+		{"-points", p, "-insert", "2"},                                  // holds out everything
+		{"-points", p, "-insert", "1", "-workers", "-1"},                // no serial reference mode
+		{"-points", p, "-insert", "1", "-algo", "approx", "-t", "1.5"},  // greedy-only
+		{"-graph", g, "-insert", "1"},                                   // holds out everything
 	}
 	for _, args := range cases {
 		if _, err := runCapture(t, args); err == nil {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	spannerbench [-exp all|e1|...|e12|a1..a5|ablations|greedybench|greedymetricbench|pairstreambench] [-scale small|full] [-seed N]
+//	spannerbench [-exp all|e1|...|e12|a1..a5|ablations|greedybench|greedymetricbench|pairstreambench|incrementalbench] [-scale small|full] [-seed N]
 //
 // The "full" scale is what EXPERIMENTS.md records; "small" finishes in a
 // few seconds.
@@ -27,6 +27,13 @@
 // streamed weight-bucketed supply, with peak/total allocation recorded,
 // writing BENCH_pairstream.json by default. -workers selects the engine
 // worker count (default 1).
+//
+// -exp incrementalbench times the maintained incremental spanner against
+// the rebuild-per-insert policy (one from-scratch build per inserted
+// point): amortized per-insert cost, peak/total allocation for both, and
+// edge-for-edge identity of the final spanner, writing
+// BENCH_incremental.json by default. -workers selects the engine worker
+// count (default 1).
 package main
 
 import (
@@ -47,7 +54,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("spannerbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench")
+	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench")
 	scaleFlag := fs.String("scale", "small", "experiment scale: small or full")
 	seed := fs.Int64("seed", 42, "random seed for workload generation")
 	jsonPath := fs.String("json", "", "output path for the greedybench/greedymetricbench report (default BENCH_greedy.json / BENCH_greedymetric.json)")
@@ -121,6 +128,10 @@ func run(args []string) error {
 		tab, report, err := bench.PairStreamBench(scale, *seed, *reps, *workers)
 		return writeReport("BENCH_pairstream.json", tab, report, err)
 	}
+	if name == "incrementalbench" {
+		tab, report, err := bench.IncrementalBench(scale, *seed, *reps, *workers)
+		return writeReport("BENCH_incremental.json", tab, report, err)
+	}
 	if name == "all" || name == "ablations" {
 		var (
 			tabs []*bench.Table
@@ -143,7 +154,7 @@ func run(args []string) error {
 	}
 	r, ok := runners[name]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, or pairstreambench)", *exp)
+		return fmt.Errorf("unknown experiment %q (want all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, or incrementalbench)", *exp)
 	}
 	tab, err := r()
 	if err != nil {

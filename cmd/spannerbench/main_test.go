@@ -38,6 +38,16 @@ func TestRunMetricBatchAblation(t *testing.T) {
 	}
 }
 
+func TestRunIncrementalBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_incremental.json")
+	if err := run([]string{"-exp", "incrementalbench", "-scale", "small", "-workers", "1", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunGreedyMetricBench(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_greedymetric.json")
 	if err := run([]string{"-exp", "greedymetricbench", "-scale", "small", "-workers", "2", "-json", path}); err != nil {

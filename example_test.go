@@ -105,6 +105,43 @@ func ExampleGreedyMetricParallel() {
 	// size=4 identical=true
 }
 
+// ExampleNewIncremental maintains a greedy spanner under point
+// insertions: the inserted point is spliced into the greedy scan at its
+// weight position and only the disturbed tail is replayed, yet the result
+// is bit-identical to rebuilding from scratch on the union.
+func ExampleNewIncremental() {
+	m, err := spanner.NewEuclidean([][]float64{{0}, {1}, {2}, {4}})
+	if err != nil {
+		panic(err)
+	}
+	inc, err := spanner.NewIncremental(m, 2, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("size=%d\n", inc.Result().Size())
+
+	union, err := spanner.NewEuclidean([][]float64{{0}, {1}, {2}, {4}, {8}})
+	if err != nil {
+		panic(err)
+	}
+	if err := inc.Insert(union); err != nil {
+		panic(err)
+	}
+	scratch, err := spanner.GreedyMetric(union, 2)
+	if err != nil {
+		panic(err)
+	}
+	res := inc.Result()
+	identical := res.Size() == scratch.Size() && res.Weight == scratch.Weight
+	for i := range scratch.Edges {
+		identical = identical && res.Edges[i] == scratch.Edges[i]
+	}
+	fmt.Printf("size=%d identical=%v\n", res.Size(), identical)
+	// Output:
+	// size=3
+	// size=4 identical=true
+}
+
 // ExampleVerifySpanner audits a constructed spanner against the paper's
 // Section 2 definition and reports the worst stretch over the input's
 // edges — here the pruned diagonal, detoured by the two-hop unit path.

@@ -71,6 +71,23 @@ func BenchmarkMetricPairSourceDrain(b *testing.B) {
 	}
 }
 
+func BenchmarkIncrementalInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	pts := gen.UniformPoints(rng, 240, 2)
+	base := metric.MustEuclidean(pts[:220])
+	union := metric.MustEuclidean(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc, err := core.NewIncrementalMetric(base, 1.5, core.MetricParallelOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := inc.Insert(union); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkGreedyGraphStreamed(b *testing.B) {
 	rng := rand.New(rand.NewSource(42))
 	g := gen.ErdosRenyi(rng, 200, 0.2, 0.5, 10)

@@ -78,4 +78,26 @@
 // serial reference (GreedyMetricFastSerial) intentionally keeps the
 // materialized pair list and dense float64 matrix as the
 // memory-comparison baseline and ground truth.
+//
+// # Incremental maintenance and the insertion-soundness invariant
+//
+// IncrementalSpanner maintains a greedy spanner under point insertions
+// (metrics) and edge insertions (graphs). An insertion splices new
+// candidates into the fixed greedy scan order, so everything strictly
+// before the first spliced position is undisturbed: the union scan sees
+// the identical candidate prefix, repeats the identical decisions, and
+// accepts the identical edge prefix — which the engine keeps verbatim
+// and replays only the tail from a cut-resumed candidate source.
+//
+// Cached bound rows survive insertions by the same monotonicity that
+// powers the frozen-snapshot certification: every row is stamped with
+// the accepted-edge prefix its bounds were proven on, and a row proven
+// on a prefix the replay preserves is proven on a subgraph of every
+// partial spanner the replay will hold — adding edges only shrinks
+// distances, so its entries can only overestimate, never undercut, and
+// each skip they certify is exactly the skip a fresh computation would
+// certify. Rows proven on longer (discarded) prefixes are dropped.
+// The maintained result after every insertion batch is therefore
+// bit-identical to a from-scratch greedy build on the union, counters
+// included.
 package core

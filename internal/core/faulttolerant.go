@@ -19,9 +19,17 @@ import (
 // every surviving pair (u, v), delta_{H-F}(u, v) <= t * d(u, v) — the
 // greedy exchange argument is identical to Algorithm 1's.
 //
-// Checking all fault sets costs C(n, f) bounded Dijkstras per pair, so this
+// Candidates are pulled from the streamed weight-bucketed supply
+// (NewMetricSource) instead of a materialized, globally sorted pair list,
+// so the scan's resident set is one weight bucket rather than all
+// n(n-1)/2 pairs; each fault set is probed with a masked bounded search on
+// the live spanner (Searcher.DistanceWithinMasked) rather than a per-set
+// graph copy. The output is bit-identical to the materialize-and-copy
+// reference (property-tested in faulttolerant_test.go).
+//
+// Checking all fault sets costs C(n, f) bounded searches per pair, so this
 // implementation supports the practically relevant f in {0, 1, 2}; f = 0
-// degenerates to GreedyMetric. Complexity O(n^{2+f} * Dijkstra) — a
+// degenerates to GreedyMetric. Complexity O(n^{2+f} * search) — a
 // reference implementation for experiments and audits, not a large-n tool.
 func FaultTolerantGreedy(m metric.Metric, t float64, f int) (*Result, error) {
 	if !validStretch(t) {
@@ -38,47 +46,46 @@ func FaultTolerantGreedy(m metric.Metric, t float64, f int) (*Result, error) {
 	if n <= 1 {
 		return res, nil
 	}
-	pairs := make([]graph.Edge, 0, n*(n-1)/2)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			pairs = append(pairs, graph.Edge{U: i, V: j, W: m.Dist(i, j)})
-		}
-	}
-	graph.SortEdges(pairs)
-
+	src := NewMetricSource(m, 0)
 	h := graph.New(n)
-	for _, e := range pairs {
-		res.EdgesExamined++
-		if ftCovered(h, e, t, f) {
-			continue
+	search := graph.NewSearcher(n)
+	for {
+		pairs := src.NextBatch(maxBatch)
+		if len(pairs) == 0 {
+			break
 		}
-		h.MustAddEdge(e.U, e.V, e.W)
-		res.Edges = append(res.Edges, e)
-		res.Weight += e.W
+		for _, e := range pairs {
+			res.EdgesExamined++
+			if ftCovered(search, h, e, t, f) {
+				continue
+			}
+			h.MustAddEdge(e.U, e.V, e.W)
+			res.Edges = append(res.Edges, e)
+			res.Weight += e.W
+		}
 	}
 	return res, nil
 }
 
 // ftCovered reports whether, for every fault set F with |F| <= f avoiding
 // e's endpoints, the current spanner minus F still connects e's endpoints
-// within t*w(e). Fault sets are enumerated directly (f <= 2).
-func ftCovered(h *graph.Graph, e graph.Edge, t float64, f int) bool {
+// within t*w(e). Fault sets are enumerated directly (f <= 2) and probed
+// with the reusable searcher's masked bounded search — no graph copy and
+// no allocation per fault set (asserted by TestFaultTolerantNoGraphCopies).
+func ftCovered(search *graph.Searcher, h *graph.Graph, e graph.Edge, t float64, f int) bool {
 	limit := t * e.W
 	n := h.N()
-	check := func(faults []int) bool {
-		masked := maskVertices(h, faults)
-		_, within := masked.DistanceWithin(e.U, e.V, limit)
-		return within
-	}
+	var buf [2]int
 	// F = {} must also be covered.
-	if !check(nil) {
+	if _, within := search.DistanceWithinMasked(h, e.U, e.V, limit, nil); !within {
 		return false
 	}
 	for a := 0; a < n; a++ {
 		if a == e.U || a == e.V {
 			continue
 		}
-		if !check([]int{a}) {
+		buf[0] = a
+		if _, within := search.DistanceWithinMasked(h, e.U, e.V, limit, buf[:1]); !within {
 			return false
 		}
 		if f < 2 {
@@ -88,7 +95,8 @@ func ftCovered(h *graph.Graph, e graph.Edge, t float64, f int) bool {
 			if b == e.U || b == e.V {
 				continue
 			}
-			if !check([]int{a, b}) {
+			buf[1] = b
+			if _, within := search.DistanceWithinMasked(h, e.U, e.V, limit, buf[:2]); !within {
 				return false
 			}
 		}
@@ -96,66 +104,80 @@ func ftCovered(h *graph.Graph, e graph.Edge, t float64, f int) bool {
 	return true
 }
 
-// maskVertices returns a copy of h with all edges incident to the given
-// vertices removed (vertex failure).
-func maskVertices(h *graph.Graph, faults []int) *graph.Graph {
-	if len(faults) == 0 {
-		return h
-	}
-	dead := make(map[int]bool, len(faults))
-	for _, v := range faults {
-		dead[v] = true
-	}
-	out := graph.New(h.N())
-	for _, e := range h.Edges() {
-		if !dead[e.U] && !dead[e.V] {
-			out.MustAddEdge(e.U, e.V, e.W)
-		}
-	}
-	return out
-}
-
 // VerifyFaultTolerance exhaustively audits that h is an f-fault-tolerant
 // t-spanner of the metric m: for every fault set F with |F| <= f and every
 // surviving pair, delta_{H-F} <= t * d (+eps). Supported for f in {0, 1, 2};
 // returns a descriptive error on the first violation.
+//
+// One reusable searcher answers every fault set with masked bounded
+// searches on h itself (no graph copy per set), and each single-source
+// sweep stops at the largest t*d+eps radius any of its pairs needs, so
+// the audit never explores past the distances it has to certify. A pair
+// whose surviving distance exceeds even that radius is reported with
+// distance +Inf.
 func VerifyFaultTolerance(h *graph.Graph, m metric.Metric, t float64, f int, eps float64) error {
 	if f < 0 || f > 2 {
 		return fmt.Errorf("core: fault parameter %d out of supported range [0, 2]", f)
 	}
-	var faultSets [][]int
-	faultSets = append(faultSets, nil)
 	n := m.N()
+	search := graph.NewSearcher(h.N())
+	row := make([]float64, h.N())
+	check := func(faults []int) error {
+		isDead := func(v int) bool {
+			for _, d := range faults {
+				if d == v {
+					return true
+				}
+			}
+			return false
+		}
+		for u := 0; u < n; u++ {
+			if isDead(u) {
+				continue
+			}
+			// Early-out radius: the largest bound any pair out of u has to
+			// meet; beyond it nothing needs certifying.
+			limit := 0.0
+			for v := u + 1; v < n; v++ {
+				if isDead(v) {
+					continue
+				}
+				if d := t*m.Dist(u, v) + eps; d > limit {
+					limit = d
+				}
+			}
+			search.BoundedDistancesMasked(h, u, limit, faults, row)
+			for v := u + 1; v < n; v++ {
+				if isDead(v) {
+					continue
+				}
+				if row[v] > t*m.Dist(u, v)+eps {
+					return fmt.Errorf("core: fault set %v breaks pair (%d, %d): %v > %v",
+						faults, u, v, row[v], t*m.Dist(u, v))
+				}
+			}
+		}
+		return nil
+	}
+	if err := check(nil); err != nil {
+		return err
+	}
+	var buf [2]int
 	if f >= 1 {
 		for a := 0; a < n; a++ {
-			faultSets = append(faultSets, []int{a})
+			buf[0] = a
+			if err := check(buf[:1]); err != nil {
+				return err
+			}
 		}
 	}
 	if f >= 2 {
 		for a := 0; a < n; a++ {
+			buf[0] = a
 			for b := a + 1; b < n; b++ {
-				faultSets = append(faultSets, []int{a, b})
-			}
-		}
-	}
-	for _, faults := range faultSets {
-		masked := maskVertices(h, faults)
-		dead := make(map[int]bool, len(faults))
-		for _, v := range faults {
-			dead[v] = true
-		}
-		for u := 0; u < n; u++ {
-			if dead[u] {
-				continue
-			}
-			sp := masked.Dijkstra(u)
-			for v := u + 1; v < n; v++ {
-				if dead[v] {
-					continue
-				}
-				if sp.Dist[v] > t*m.Dist(u, v)+eps {
-					return fmt.Errorf("core: fault set %v breaks pair (%d, %d): %v > %v",
-						faults, u, v, sp.Dist[v], t*m.Dist(u, v))
+				buf[1] = b
+				if err := check(buf[:2]); err != nil {
+					return err
 				}
 			}
 		}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/metric"
+)
+
+// IncrementalSpanner is a maintained greedy t-spanner: after the initial
+// build it accepts point insertions (metric mode) or edge insertions
+// (graph mode), and after every insertion batch its Result is bit-identical
+// to a from-scratch greedy build on the union — same edge sequence, weight,
+// and examined-candidate count.
+//
+// # How an insertion replays
+//
+// The greedy scan consumes candidates in a fixed order (non-decreasing
+// weight, ties by endpoint ids), so inserting elements splices their
+// candidate pairs into that stream at known positions. Everything strictly
+// before the first spliced position is untouched: the union scan sees the
+// exact candidate prefix the previous scan saw, makes the same
+// deterministic decisions, and therefore accepts the exact prefix of the
+// maintained edge sequence. The engine keeps that prefix verbatim and
+// replays only the stream's tail — pulled from the cut-resumed streamed
+// supply, which skips whole weight buckets below the cut by count alone —
+// through the same batched-certification scan that built the spanner.
+//
+// # Why cached bound rows survive (metric mode)
+//
+// The sparse bound store tags every row with the accepted-edge prefix its
+// bounds were proven on. A row proven on a prefix the replay preserves is
+// proven on a subgraph of every partial spanner the replay will ever hold,
+// and spanner distances only shrink as edges are added — so its entries
+// remain true upper bounds and certify skips exactly as a freshly computed
+// row would (the same frozen-snapshot invariant the batched engines rest
+// on). Only rows last refreshed against spanner edges past the cut are
+// dropped and rebuilt on demand. Inserted points pad surviving rows with
+// +Inf entries, the "unknown" the cache starts from.
+//
+// An IncrementalSpanner is not safe for concurrent use.
+type IncrementalSpanner struct {
+	t float64
+
+	// Metric mode.
+	m     metric.Metric
+	mopts MetricParallelOptions
+	bound *boundStore
+
+	// Graph mode. The spanner owns g (a private clone grown by
+	// InsertEdges).
+	g     *graph.Graph
+	gopts ParallelOptions
+
+	// counts is the candidate set's maintained weight histogram: built
+	// once at construction, then each inserted candidate is tallied as it
+	// is discovered (the same loop that finds the cut). Seeding the
+	// replay's source with it removes the counting pass — an insertion
+	// never enumerates the full candidate set, only the O(k*n) new pairs
+	// and the disturbed tail.
+	counts pairCounts
+
+	res *Result
+}
+
+// errSupplyOption rejects supply overrides: a maintained spanner must own
+// its candidate supply, because insertions resume the stream mid-scan.
+var errSupplyOption = fmt.Errorf("core: incremental spanner owns its candidate supply; Source and Materialize are not supported")
+
+// NewIncrementalMetric builds the greedy t-spanner of m and returns the
+// maintained spanner ready for point insertions via Insert. Workers,
+// BatchSize, BucketPairs, and Stats of opts apply to the initial build and
+// to every insertion replay; Source and Materialize are rejected.
+func NewIncrementalMetric(m metric.Metric, t float64, opts MetricParallelOptions) (*IncrementalSpanner, error) {
+	if !validStretch(t) {
+		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
+	}
+	if opts.Source != nil || opts.Materialize {
+		return nil, errSupplyOption
+	}
+	s := &IncrementalSpanner{t: t, m: m, mopts: opts}
+	n := m.N()
+	s.res = &Result{N: n, Stretch: t}
+	s.bound = newBoundStore(n)
+	// Reserve per-row growth headroom up front: insertions then extend
+	// rows in place instead of reallocating the whole row set.
+	s.bound.slack = boundRowSlack(n)
+	// One histogram pass here replaces the source's own counting pass for
+	// the initial build AND every future insertion's.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s.counts.add(m.Dist(i, j))
+		}
+	}
+	if n > 1 {
+		sc := &metricScan{
+			t:       t,
+			workers: opts.Workers,
+			h:       graph.New(n),
+			bound:   s.bound,
+			res:     s.res,
+			stats:   s.scanStats(),
+		}
+		sc.run(newMetricSourceSeeded(m, opts.BucketPairs, s.counts), opts.BatchSize)
+	}
+	return s, nil
+}
+
+// NewIncrementalGraph builds the greedy t-spanner of g and returns the
+// maintained spanner ready for edge insertions via InsertEdges. The graph
+// is cloned, so later mutations of g do not affect the maintained state.
+// Workers, BatchSize, BucketPairs, and Stats of opts apply to the initial
+// build and to every insertion replay; Source and Materialize are
+// rejected.
+func NewIncrementalGraph(g *graph.Graph, t float64, opts ParallelOptions) (*IncrementalSpanner, error) {
+	if !validStretch(t) {
+		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
+	}
+	if opts.Source != nil || opts.Materialize {
+		return nil, errSupplyOption
+	}
+	s := &IncrementalSpanner{t: t, g: g.Clone(), gopts: opts}
+	s.res = &Result{N: g.N(), Stretch: t}
+	for _, e := range s.g.Edges() {
+		s.counts.add(e.W)
+	}
+	sc := &graphScan{
+		t:       t,
+		workers: opts.Workers,
+		h:       graph.New(g.N()),
+		res:     s.res,
+		stats:   s.graphScanStats(),
+	}
+	sc.run(newGraphEdgeSourceSeeded(s.g, opts.BucketPairs, s.counts), opts.BatchSize)
+	return s, nil
+}
+
+// scanStats returns the stats sink for a metric-mode scan — the caller's
+// Stats, zeroed so each build or insertion reports its own counters — or a
+// scratch struct so the engine always has one to fill.
+func (s *IncrementalSpanner) scanStats() *MetricParallelStats {
+	st := s.mopts.Stats
+	if st == nil {
+		st = &MetricParallelStats{}
+	}
+	*st = MetricParallelStats{}
+	return st
+}
+
+func (s *IncrementalSpanner) graphScanStats() *ParallelStats {
+	st := s.gopts.Stats
+	if st == nil {
+		st = &ParallelStats{}
+	}
+	*st = ParallelStats{}
+	return st
+}
+
+// Result returns the maintained spanner. The returned value is a snapshot:
+// later insertions build a fresh Result rather than mutating it, so it
+// stays valid (and must not be modified) after further Insert calls.
+func (s *IncrementalSpanner) Result() *Result { return s.res }
+
+// Insert grows a metric-mode spanner with the points union appends to the
+// current metric. union must extend the current metric: its first N()
+// points are the current points with identical pairwise distances, and any
+// points beyond them are the insertions. After Insert returns, the
+// maintained result is bit-identical to a from-scratch greedy build on
+// union.
+//
+// Cost scales with the tail of the greedy scan the insertions disturb: the
+// candidate stream is resumed at the first scan position any new pair
+// occupies (everything below it is preserved, never enumerated), and bound
+// rows untouched since that position certify their skips from cache.
+func (s *IncrementalSpanner) Insert(union metric.Metric) error {
+	if s.m == nil {
+		return fmt.Errorf("core: Insert on a graph-mode incremental spanner (use InsertEdges)")
+	}
+	nOld, n := s.m.N(), union.N()
+	if n < nOld {
+		return fmt.Errorf("core: union has %d points, fewer than the current %d", n, nOld)
+	}
+	if n == nOld {
+		s.m = union
+		return nil
+	}
+	// One pass over the O(k*n) new pairs finds the cut — the earliest
+	// scan position any candidate pair touching an inserted point
+	// occupies (candidates strictly before it are exactly the previous
+	// scan's prefix) — and folds the new pairs into the maintained
+	// histogram that seeds the replay's source.
+	cut := graph.Edge{W: math.Inf(1), U: n, V: n}
+	for z := nOld; z < n; z++ {
+		for i := 0; i < z; i++ {
+			e := graph.Edge{U: i, V: z, W: union.Dist(i, z)}
+			s.counts.add(e.W)
+			if graph.EdgeLess(e, cut) {
+				cut = e
+			}
+		}
+	}
+	keep := s.prefixLen(cut)
+	res := s.restart(keep, n)
+	s.bound.rebase(keep, n)
+	sc := &metricScan{
+		t:       s.t,
+		workers: s.mopts.Workers,
+		h:       res.Graph(),
+		bound:   s.bound,
+		res:     res,
+		stats:   s.scanStats(),
+	}
+	sc.run(newMetricSourceAfter(union, s.mopts.BucketPairs, cut, s.counts), s.mopts.BatchSize)
+	s.m = union
+	s.res = res
+	return nil
+}
+
+// InsertEdges grows a graph-mode spanner with the given edges (validated
+// like Graph.AddEdge; on a validation error no state changes). After it
+// returns, the maintained result is bit-identical to a from-scratch greedy
+// build on the grown graph. Cost scales with the tail of the greedy scan
+// the insertions disturb, exactly as in Insert.
+func (s *IncrementalSpanner) InsertEdges(edges ...graph.Edge) error {
+	if s.g == nil {
+		return fmt.Errorf("core: InsertEdges on a metric-mode incremental spanner (use Insert)")
+	}
+	n := s.g.N()
+	for _, e := range edges {
+		if err := graph.CheckEdge(n, e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	cut := edges[0].Canonical()
+	for _, e := range edges[1:] {
+		if e = e.Canonical(); graph.EdgeLess(e, cut) {
+			cut = e
+		}
+	}
+	for _, e := range edges {
+		s.g.MustAddEdge(e.U, e.V, e.W)
+		s.counts.add(e.W)
+	}
+	keep := s.prefixLen(cut)
+	res := s.restart(keep, n)
+	sc := &graphScan{
+		t:       s.t,
+		workers: s.gopts.Workers,
+		h:       res.Graph(),
+		res:     res,
+		stats:   s.graphScanStats(),
+	}
+	sc.run(newGraphEdgeSourceAfter(s.g, s.gopts.BucketPairs, cut, s.counts), s.gopts.BatchSize)
+	s.res = res
+	return nil
+}
+
+// prefixLen reports how many of the maintained accepted edges precede cut
+// in scan order — the prefix the union scan reproduces verbatim. The
+// accepted sequence is in scan order, so this is a binary search.
+func (s *IncrementalSpanner) prefixLen(cut graph.Edge) int {
+	return sort.Search(len(s.res.Edges), func(i int) bool {
+		return !graph.EdgeLess(s.res.Edges[i], cut)
+	})
+}
+
+// restart builds the replay's starting Result over n vertices: the first
+// keep accepted edges, re-accumulated in order so the weight sum repeats
+// the exact float64 additions a from-scratch scan performs.
+func (s *IncrementalSpanner) restart(keep, n int) *Result {
+	res := &Result{N: n, Stretch: s.t}
+	res.Edges = append(make([]graph.Edge, 0, keep), s.res.Edges[:keep]...)
+	for _, e := range res.Edges {
+		res.Weight += e.W
+	}
+	return res
+}

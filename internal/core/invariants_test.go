@@ -158,6 +158,45 @@ func TestGreedyUnboundedDegreeGadget(t *testing.T) {
 	}
 }
 
+// TestIncrementalMaintainsInvariants audits the maintained spanner after
+// every insertion batch: it must be a valid t-spanner of the current
+// metric, satisfy the Lemma 3 self-spanner property (it is a genuine
+// greedy output at all times), keep its accepted edges in scan order, and
+// account for exactly k(k-1)/2 examined candidates.
+func TestIncrementalMaintainsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	m := metric.MustEuclidean(gen.UniformPoints(rng, 42, 2))
+	const tt = 1.5
+	inc, err := NewIncrementalMetric(subMetric(m, 14), tt, MetricParallelOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{15, 20, 28, 42} {
+		if err := inc.Insert(subMetric(m, k)); err != nil {
+			t.Fatal(err)
+		}
+		res := inc.Result()
+		if res.N != k {
+			t.Fatalf("k=%d: result spans %d points", k, res.N)
+		}
+		if res.EdgesExamined != k*(k-1)/2 {
+			t.Fatalf("k=%d: examined %d candidates, want %d", k, res.EdgesExamined, k*(k-1)/2)
+		}
+		h := res.Graph()
+		if _, err := verify.MetricSpanner(h, subMetric(m, k), tt, 1e-9); err != nil {
+			t.Fatalf("k=%d: not a %v-spanner: %v", k, tt, err)
+		}
+		if v := VerifySelfSpanner(h, tt); len(v) != 0 {
+			t.Fatalf("k=%d: self-spanner violations after insertion: %+v", k, v)
+		}
+		for i := 1; i < len(res.Edges); i++ {
+			if res.Edges[i].W < res.Edges[i-1].W {
+				t.Fatalf("k=%d: accepted edges out of weight order at %d", k, i)
+			}
+		}
+	}
+}
+
 // TestGreedyGraphMetricConsistency: running greedy on a graph vs on its
 // induced metric gives spanners with the same stretch guarantee against the
 // graph distances (edge sets differ — the metric sees shortcut pairs).

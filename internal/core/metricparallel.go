@@ -85,15 +85,31 @@ type MetricParallelStats struct {
 // exact float64 Dijkstra distance, so the lossy cache can only affect
 // which pairs reach the exact re-check (a sub-percent wider refresh
 // shell), never the decision itself.
+//
+// Each row additionally carries an epoch: the length of the accepted-edge
+// prefix its bounds were proven on (every write stamps the row with the
+// spanner size at proof time). The incremental engine uses the epochs to
+// decide which rows survive an insertion — a row proven on a prefix the
+// union scan preserves verbatim stays a valid set of upper bounds for
+// every later partial spanner of the replay, while rows proven on longer
+// prefixes are dropped (see rebase).
 type boundStore struct {
 	rows [][]uint16
+	// epochs[u] is the accepted-edge count the latest write to row u was
+	// proven against; meaningless while rows[u] is nil.
+	epochs []int
+	// slack is extra capacity reserved beyond each row's length, so a
+	// maintained store can grow rows in place when points are inserted
+	// instead of reallocating the whole row set per insertion. Zero for
+	// one-shot builds, which never grow.
+	slack int
 }
 
 // inf16 is +Inf in the bfloat16 encoding (high 16 bits of float32 +Inf).
 const inf16 = 0x7F80
 
 func newBoundStore(n int) *boundStore {
-	return &boundStore{rows: make([][]uint16, n)}
+	return &boundStore{rows: make([][]uint16, n), epochs: make([]int, n)}
 }
 
 // enc16up encodes a non-negative float64 as the bfloat16 (high half of
@@ -142,7 +158,7 @@ func (b *boundStore) get(u, v int) float64 {
 func (b *boundStore) row(u int) []uint16 {
 	ru := b.rows[u]
 	if ru == nil {
-		ru = make([]uint16, len(b.rows))
+		ru = make([]uint16, len(b.rows), len(b.rows)+b.slack)
 		for i := range ru {
 			ru[i] = inf16
 		}
@@ -165,22 +181,96 @@ func (b *boundStore) countRows() int {
 }
 
 // foldRow folds an exact distance row into u's cached bound row,
-// tightening entries that improved.
-func (b *boundStore) foldRow(u int, dist []float64) {
+// tightening entries that improved. epoch is the accepted-edge count of
+// the spanner the distances were computed on; the row keeps the largest
+// epoch folded into it (entries proven on shorter prefixes are looser,
+// hence still valid upper bounds at the larger epoch).
+func (b *boundStore) foldRow(u int, dist []float64, epoch int) {
 	ru := b.row(u)
 	for v, d := range dist {
 		if f := enc16up(d); f < ru[v] {
 			ru[v] = f
 		}
 	}
+	if epoch > b.epochs[u] {
+		b.epochs[u] = epoch
+	}
 }
 
 // set records an accepted edge's weight as a bound on its endpoints.
-func (b *boundStore) set(u, v int, w float64) {
+// epoch is the accepted-edge count including the edge itself.
+func (b *boundStore) set(u, v int, w float64, epoch int) {
 	ru := b.row(u)
 	if f := enc16up(w); f < ru[v] {
 		ru[v] = f
 	}
+	if epoch > b.epochs[u] {
+		b.epochs[u] = epoch
+	}
+}
+
+// rebase prepares the store for an incremental replay that restarts from
+// the first keep accepted edges of the previous scan, over a vertex set
+// grown to n points: rows whose bounds were proven on a longer prefix are
+// invalidated (their entries may undercut distances in the replay's
+// smaller starting spanner), surviving rows are padded with +Inf entries
+// for the new points, and the store grows to n row slots. Rows untouched
+// since the preserved prefix survive with their cache intact — the
+// insertion soundness invariant: a bound proven on a subgraph of every
+// partial spanner of the replay can only overestimate, never undercut.
+//
+// Backing arrays are recycled: an invalidated row is reset to all-+Inf in
+// place, and rows grow within their reserved slack, so repeated
+// insertions churn no row memory until the slack is exhausted.
+func (b *boundStore) rebase(keep, n int) {
+	b.slack = boundRowSlack(n)
+	for u := range b.rows {
+		ru := b.rows[u]
+		if ru == nil {
+			continue
+		}
+		stale := b.epochs[u] > keep
+		old := len(ru)
+		switch {
+		case cap(ru) >= n:
+			// Grow in place within the reserved slack.
+			ru = ru[:n]
+			b.rows[u] = ru
+		case stale:
+			// Stale and too small: nothing worth keeping.
+			b.rows[u] = nil
+			b.epochs[u] = 0
+			continue
+		default:
+			grown := make([]uint16, n, n+b.slack)
+			copy(grown, ru)
+			ru, b.rows[u] = grown, grown
+		}
+		if stale {
+			// Reset the recycled array to "unknown"; the row is now as
+			// good as freshly materialized.
+			old = 0
+			b.epochs[u] = 0
+		}
+		for v := old; v < n; v++ {
+			ru[v] = inf16
+		}
+		ru[u] = 0
+	}
+	for len(b.rows) < n {
+		b.rows = append(b.rows, nil)
+		b.epochs = append(b.epochs, 0)
+	}
+}
+
+// boundRowSlack is the growth headroom a maintained store reserves per
+// row: enough that a stream of small insertions grows rows in place.
+func boundRowSlack(n int) int {
+	s := n / 8
+	if s < 64 {
+		s = 64
+	}
+	return s
 }
 
 // GreedyMetricFastParallel computes the greedy t-spanner of a finite metric
@@ -215,10 +305,6 @@ func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParalle
 	if !validStretch(t) {
 		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	stats := opts.Stats
 	if stats == nil {
 		stats = &MetricParallelStats{}
@@ -238,9 +324,44 @@ func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParalle
 			src = NewMetricSource(m, opts.BucketPairs)
 		}
 	}
+	sc := &metricScan{
+		t:       t,
+		workers: opts.Workers,
+		h:       graph.New(n),
+		bound:   newBoundStore(n),
+		res:     res,
+		stats:   stats,
+	}
+	sc.run(src, opts.BatchSize)
+	return res, nil
+}
 
-	h := graph.New(n)
-	bound := newBoundStore(n)
+// metricScan bundles the state of one batched cached-bound greedy scan:
+// the partial spanner, the sparse bound store, and the result being
+// accumulated. A fresh build starts it empty; the incremental engine
+// starts it at the preserved prefix of a previous scan (with the bound
+// store rebased) and drains only the tail of the candidate stream.
+type metricScan struct {
+	t       float64
+	workers int // <= 0 selects GOMAXPROCS
+	h       *graph.Graph
+	bound   *boundStore
+	res     *Result
+	stats   *MetricParallelStats
+}
+
+// run drains src through the batched-certification scan, appending every
+// accept to the scan's result; batchSize <= 0 selects adaptive batching.
+// On return the stats are final and any candidates a cut-resumed source
+// suppressed are folded into EdgesExamined, so a resumed scan accounts
+// for exactly the candidates a full scan examines.
+func (sc *metricScan) run(src CandidateSource, batchSize int) {
+	t, h, bound, res, stats := sc.t, sc.h, sc.bound, sc.res, sc.stats
+	workers := sc.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := h.N()
 	serial := graph.NewSearcher(n)
 	row := make([]float64, n)
 
@@ -249,29 +370,29 @@ func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParalle
 	// value the serial reference's decision uses.
 	refreshExact := func(u, v int) float64 {
 		serial.Distances(h, u, row)
-		bound.foldRow(u, row)
+		bound.foldRow(u, row, len(res.Edges))
 		stats.SerialRefreshes++
 		return row[v]
 	}
 	accept := func(e graph.Edge) {
 		h.MustAddEdge(e.U, e.V, e.W)
-		bound.set(e.U, e.V, e.W)
 		res.Edges = append(res.Edges, e)
 		res.Weight += e.W
+		bound.set(e.U, e.V, e.W, len(res.Edges))
 		stats.Kept++
 	}
-	finish := func() *Result {
+	finish := func() {
 		stats.RowsAllocated = bound.countRows()
 		if bs, ok := src.(*bucketedSource); ok {
 			stats.PeakBucketPairs = bs.PeakBucket()
+			res.EdgesExamined += bs.Skipped()
 		}
-		return res
 	}
 
 	if workers == 1 {
 		// Serial fast path: the cached-bound scan with reusable scratch,
 		// no snapshot pass; the supply is still streamed.
-		chunk := opts.BatchSize
+		chunk := batchSize
 		if chunk <= 0 {
 			chunk = maxBatch
 		}
@@ -294,8 +415,9 @@ func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParalle
 				accept(e)
 			}
 		}
-		stats.FinalBatchSize = serialBatchStat(opts.BatchSize, res.EdgesExamined)
-		return finish(), nil
+		stats.FinalBatchSize = serialBatchStat(batchSize, res.EdgesExamined)
+		finish()
+		return
 	}
 
 	pool := make([]*graph.Searcher, workers)
@@ -321,7 +443,7 @@ func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParalle
 	}
 	srcAt := make([]int, n)
 
-	batch := opts.BatchSize
+	batch := batchSize
 	adaptive := batch <= 0
 	if adaptive {
 		batch = initialBatch(workers)
@@ -366,7 +488,10 @@ func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParalle
 		// by exactly one worker; workers read only h and their own
 		// scratch, and additionally record each of their pairs' exact
 		// snapshot distances (disjoint exact[i] slots), so the only
-		// synchronization needed is the join.
+		// synchronization needed is the join. The rows are stamped with
+		// the snapshot's accepted-edge count — the prefix their bounds
+		// are proven on.
+		snapEdges := len(res.Edges)
 		var wg sync.WaitGroup
 		chunk := (len(sources) + workers - 1) / workers
 		for w := 0; w < workers && w*chunk < len(sources); w++ {
@@ -380,7 +505,7 @@ func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParalle
 				for k := start; k < end; k++ {
 					u := sources[k]
 					search.Distances(h, u, scratch)
-					bound.foldRow(u, scratch)
+					bound.foldRow(u, scratch, snapEdges)
 					for _, i := range srcPairs[k] {
 						exact[i] = scratch[pairs[i].V]
 					}
@@ -428,7 +553,7 @@ func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParalle
 		}
 	}
 	stats.FinalBatchSize = batch
-	return finish(), nil
+	finish()
 }
 
 // sortedPairs materializes all n(n-1)/2 interpoint distances of m as edges

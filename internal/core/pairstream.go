@@ -140,6 +140,21 @@ type bucketedSource struct {
 	bucket []graph.Edge
 	pos    int
 	opened bool
+	// cut, when non-nil, suppresses every candidate that precedes it in
+	// scan order: whole weight buckets strictly below cut.W are dropped by
+	// count alone — never enumerated, materialized, or sorted — and the
+	// one bucket straddling the cut is filtered after its sort. Dropped
+	// candidates are tallied in skipped so callers can keep exact
+	// examined-pair accounting. This is how the incremental engine resumes
+	// a greedy scan at the first position an inserted candidate occupies.
+	cut *graph.Edge
+	// skipped counts candidates suppressed by cut.
+	skipped int
+	// seed, when non-nil, replaces open's counting pass: the caller
+	// already knows the candidate set's weight histogram (the incremental
+	// engine maintains it across insertions), so the source never has to
+	// enumerate the full candidate set just to bucket it.
+	seed *pairCounts
 	// alloc is the bucket buffer's target capacity, fixed at open time to
 	// min(cap, largest bucket count) so one backing array serves every
 	// bucket without repeated regrowth garbage.
@@ -159,14 +174,10 @@ func newBucketedSource(enum pairEnumerator, bucketPairs int) *bucketedSource {
 	return &bucketedSource{enum: enum, cap: bucketPairs}
 }
 
-// NewMetricSource returns the streaming candidate supply over all
-// n(n-1)/2 interpoint pairs of m in greedy scan order. Euclidean metrics
-// get the grid-bucketed enumerator of internal/geom, which produces a
-// weight bucket by scanning only grid cells within the bucket's distance —
-// farther pairs are never touched; all other metrics get the brute-force
-// enumerator (one O(n^2) distance pass per bucket, still O(bucket)
-// memory). bucketPairs <= 0 selects DefaultBucketPairs.
-func NewMetricSource(m metric.Metric, bucketPairs int) CandidateSource {
+// metricEnumeratorFor picks the pair enumerator for m: the grid-bucketed
+// enumerator of internal/geom for Euclidean metrics, brute force
+// otherwise.
+func metricEnumeratorFor(m metric.Metric) pairEnumerator {
 	if eu, ok := m.(*metric.Euclidean); ok && eu.N() > 0 {
 		pts := make([][]float64, eu.N())
 		for i := range pts {
@@ -175,9 +186,38 @@ func NewMetricSource(m metric.Metric, bucketPairs int) CandidateSource {
 		// Weights come from m.Dist, the same call the materialized
 		// pipeline makes, so streamed weights are bit-identical; the grid
 		// only decides which pairs to test.
-		return newBucketedSource(geom.NewGridEnumerator(pts, m.Dist), bucketPairs)
+		return geom.NewGridEnumerator(pts, m.Dist)
 	}
-	return newBucketedSource(metricEnumerator{m: m}, bucketPairs)
+	return metricEnumerator{m: m}
+}
+
+// NewMetricSource returns the streaming candidate supply over all
+// n(n-1)/2 interpoint pairs of m in greedy scan order. Euclidean metrics
+// get the grid-bucketed enumerator of internal/geom, which produces a
+// weight bucket by scanning only grid cells within the bucket's distance —
+// farther pairs are never touched; all other metrics get the brute-force
+// enumerator (one O(n^2) distance pass per bucket, still O(bucket)
+// memory). bucketPairs <= 0 selects DefaultBucketPairs.
+func NewMetricSource(m metric.Metric, bucketPairs int) CandidateSource {
+	return newBucketedSource(metricEnumeratorFor(m), bucketPairs)
+}
+
+// newMetricSourceSeeded is NewMetricSource with the counting pass replaced
+// by a caller-maintained weight histogram; see bucketedSource.seed.
+func newMetricSourceSeeded(m metric.Metric, bucketPairs int, counts pairCounts) *bucketedSource {
+	s := newBucketedSource(metricEnumeratorFor(m), bucketPairs)
+	s.seed = &counts
+	return s
+}
+
+// newMetricSourceAfter is newMetricSourceSeeded with the scan resumed at
+// cut: candidates strictly before cut in scan order are counted into
+// Skipped instead of emitted, and whole weight buckets below the cut are
+// skipped by count alone without ever enumerating their pairs.
+func newMetricSourceAfter(m metric.Metric, bucketPairs int, cut graph.Edge, counts pairCounts) *bucketedSource {
+	s := newMetricSourceSeeded(m, bucketPairs, counts)
+	s.cut = &cut
+	return s
 }
 
 // NewGraphEdgeSource returns the streaming supply over g's edge list in
@@ -189,40 +229,86 @@ func NewGraphEdgeSource(g *graph.Graph, bucketPairs int) CandidateSource {
 	return newBucketedSource(graphEdgeEnumerator{g: g}, bucketPairs)
 }
 
-// open runs the single counting pass that partitions the candidate weights
-// into geometric buckets keyed by binary exponent: bucket e holds weights
-// in [2^(e-1), 2^e). Exponent extraction is exactly monotone in the
-// weight, so bucket order is scan order; zero weights (degenerate inputs)
-// get a dedicated first bucket.
+// newGraphEdgeSourceSeeded is NewGraphEdgeSource with a caller-maintained
+// weight histogram; see newMetricSourceSeeded.
+func newGraphEdgeSourceSeeded(g *graph.Graph, bucketPairs int, counts pairCounts) *bucketedSource {
+	s := newBucketedSource(graphEdgeEnumerator{g: g}, bucketPairs)
+	s.seed = &counts
+	return s
+}
+
+// newGraphEdgeSourceAfter is NewGraphEdgeSource resumed at cut; see
+// newMetricSourceAfter.
+func newGraphEdgeSourceAfter(g *graph.Graph, bucketPairs int, cut graph.Edge, counts pairCounts) *bucketedSource {
+	s := newGraphEdgeSourceSeeded(g, bucketPairs, counts)
+	s.cut = &cut
+	return s
+}
+
+// expOffset aligns Frexp exponents into the pairCounts histogram: the
+// lowest subnormal exponent from Frexp is -1074.
+const expOffset = 1075
+
+// pairCounts is the weight histogram of a candidate set — per-binary-
+// exponent counts plus dedicated zero and +Inf tallies, exactly the
+// product of the bucketed source's counting pass. The incremental engine
+// maintains one across insertions (each new candidate is added once) and
+// seeds its sources with it, so a resumed scan never enumerates the full
+// candidate set just to bucket it.
+type pairCounts struct {
+	exp   [expOffset + 1025]int
+	zeros int
+	infs  int
+}
+
+// add tallies one candidate weight; it must mirror exactly what open's
+// counting pass does with the weight.
+func (c *pairCounts) add(w float64) {
+	switch {
+	case w == 0:
+		c.zeros++
+	case math.IsInf(w, 1):
+		c.infs++
+	default:
+		_, e := math.Frexp(w)
+		c.exp[e+expOffset]++
+	}
+}
+
+// total reports the number of tallied candidates.
+func (c *pairCounts) total() int {
+	n := c.zeros + c.infs
+	for _, k := range c.exp {
+		n += k
+	}
+	return n
+}
+
+// open partitions the candidate weights into geometric buckets keyed by
+// binary exponent: bucket e holds weights in [2^(e-1), 2^e). The
+// histogram comes from the seed when the caller maintains one, otherwise
+// from a single counting pass over the enumerator. Exponent extraction is
+// exactly monotone in the weight, so bucket order is scan order; zero
+// weights (degenerate inputs) get a dedicated first bucket.
 func (s *bucketedSource) open() {
 	s.opened = true
-	const expOffset = 1075 // lowest subnormal exponent from Frexp is -1074
-	var counts [expOffset + 1025]int
-	zeros, infs := 0, 0
-	s.enum.Pairs(0, math.Inf(1), func(u, v int, w float64) {
-		switch {
-		case w == 0:
-			zeros++
-		case math.IsInf(w, 1):
-			infs++
-		default:
-			_, e := math.Frexp(w)
-			counts[e+expOffset]++
-		}
-	})
-	first := math.Inf(1)
-	total := zeros + infs
-	for e := range counts {
-		total += counts[e]
+	counts := s.seed
+	if counts == nil {
+		counts = &pairCounts{}
+		s.enum.Pairs(0, math.Inf(1), func(u, v int, w float64) {
+			counts.add(w)
+		})
 	}
+	first := math.Inf(1)
+	total := counts.total()
 	if s.cap == 0 {
 		s.cap = DefaultBucketPairs
 		if auto := total / 32; auto > s.cap {
 			s.cap = auto
 		}
 	}
-	for e := range counts {
-		if counts[e] == 0 {
+	for e := range counts.exp {
+		if counts.exp[e] == 0 {
 			continue
 		}
 		lo := math.Ldexp(1, e-expOffset-1)
@@ -230,19 +316,35 @@ func (s *bucketedSource) open() {
 		if lo < first {
 			first = lo
 		}
-		s.queue = append(s.queue, interval{lo: lo, hi: hi, count: counts[e]})
+		s.queue = append(s.queue, interval{lo: lo, hi: hi, count: counts.exp[e]})
 	}
-	if zeros > 0 {
+	if counts.zeros > 0 {
 		// Cap below +Inf so the zero bucket can never swallow the
 		// infinite-weight bucket when no finite weights exist.
 		if math.IsInf(first, 1) {
 			first = math.MaxFloat64
 		}
-		s.queue = append([]interval{{lo: 0, hi: first, count: zeros, noSplit: true}}, s.queue...)
+		s.queue = append([]interval{{lo: 0, hi: first, count: counts.zeros, noSplit: true}}, s.queue...)
 	}
-	if infs > 0 {
+	if counts.infs > 0 {
 		// Infinite weights scan last, after every finite bucket.
-		s.queue = append(s.queue, interval{lo: math.Inf(1), hi: math.Inf(1), count: infs, noSplit: true})
+		s.queue = append(s.queue, interval{lo: math.Inf(1), hi: math.Inf(1), count: counts.infs, noSplit: true})
+	}
+	if s.cut != nil {
+		// Drop every interval wholly before the cut by its count alone:
+		// finite-hi intervals hold weights strictly below hi, so hi <=
+		// cut.W puts all of them strictly before the cut in scan order.
+		// The infinite-weight interval (lo = +Inf) can tie cut.W and is
+		// always kept for the post-sort filter in refill.
+		kept := s.queue[:0]
+		for _, iv := range s.queue {
+			if !math.IsInf(iv.lo, 1) && iv.hi <= s.cut.W {
+				s.skipped += iv.count
+				continue
+			}
+			kept = append(kept, iv)
+		}
+		s.queue = kept
 	}
 	for _, iv := range s.queue {
 		if iv.count > s.alloc {
@@ -261,6 +363,12 @@ func (s *bucketedSource) refill() bool {
 		iv := s.queue[0]
 		s.queue = s.queue[1:]
 		if iv.count == 0 {
+			continue
+		}
+		if s.cut != nil && !math.IsInf(iv.lo, 1) && iv.hi <= s.cut.W {
+			// A subdivision child that fell wholly below the cut: skip it
+			// by count, like the whole buckets dropped at open time.
+			s.skipped += iv.count
 			continue
 		}
 		if iv.count > s.cap && !iv.noSplit {
@@ -282,7 +390,17 @@ func (s *bucketedSource) refill() bool {
 			s.bucket = make([]graph.Edge, 0, want)
 		}
 		s.bucket = s.bucket[:0]
+		// The top finite bucket's hi overflows Ldexp to +Inf (weights in
+		// [2^1023, MaxFloat64]), and WeightInRange admits w == +Inf at an
+		// infinite hi — but infinite weights belong exclusively to the
+		// dedicated last interval (lo == +Inf), where the counting pass
+		// tallied them. Filter them out of finite-lo collections so no
+		// candidate is ever emitted twice.
+		finiteOnly := !math.IsInf(iv.lo, 1) && math.IsInf(iv.hi, 1)
 		s.enum.Pairs(iv.lo, iv.hi, func(u, v int, w float64) {
+			if finiteOnly && math.IsInf(w, 1) {
+				return
+			}
 			s.bucket = append(s.bucket, graph.Edge{U: u, V: v, W: w})
 		})
 		if len(s.bucket) == 0 {
@@ -292,6 +410,22 @@ func (s *bucketedSource) refill() bool {
 		s.pos = 0
 		if len(s.bucket) > s.peak {
 			s.peak = len(s.bucket)
+		}
+		if s.cut != nil {
+			// The bucket straddling the cut: drop the sorted prefix that
+			// precedes the cut. Buckets partition the weight axis in scan
+			// order, so once one candidate at or past the cut is emitted,
+			// every later bucket is past it too and the filter retires.
+			drop := 0
+			for drop < len(s.bucket) && graph.EdgeLess(s.bucket[drop], *s.cut) {
+				drop++
+			}
+			s.skipped += drop
+			s.pos = drop
+			if drop == len(s.bucket) {
+				continue // whole bucket before the cut; pos stays exhausted
+			}
+			s.cut = nil
 		}
 		return true
 	}
@@ -370,3 +504,9 @@ func (s *bucketedSource) NextBatch(maxW int) []graph.Edge {
 // materialized at once — the supply's actual memory high-water mark in
 // edges.
 func (s *bucketedSource) PeakBucket() int { return s.peak }
+
+// Skipped reports how many candidates the cut suppressed. It is complete
+// once the source has been drained; the engines fold it into
+// EdgesExamined so a resumed scan accounts for exactly the candidates a
+// full scan examines.
+func (s *bucketedSource) Skipped() int { return s.skipped }

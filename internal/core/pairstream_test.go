@@ -231,6 +231,73 @@ func TestStreamedPairOrderInfiniteWeights(t *testing.T) {
 	}
 }
 
+// TestStreamedPairOrderSeededCounts checks the seeded supply: a source
+// given a caller-maintained weight histogram (the incremental engine's
+// mode) must emit exactly the sequence the self-counting source emits,
+// and honor a cut with identical Skipped accounting.
+func TestStreamedPairOrderSeededCounts(t *testing.T) {
+	for name, m := range testMetrics(t) {
+		var counts pairCounts
+		n := m.N()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				counts.add(m.Dist(i, j))
+			}
+		}
+		want := sortedPairs(m)
+		got := drainSource(newMetricSourceSeeded(m, 64, counts), []int{9, 100})
+		equalEdgeSeq(t, name+"/seeded", want, got)
+		// Cut at the median candidate: emitted tail + skipped count must
+		// partition the scan exactly.
+		cut := want[len(want)/2]
+		src := newMetricSourceAfter(m, 64, cut, counts)
+		tail := drainSource(src, []int{13})
+		equalEdgeSeq(t, name+"/seeded-cut", want[len(want)/2:], tail)
+		if src.Skipped() != len(want)/2 {
+			t.Fatalf("%s: Skipped() = %d, want %d", name, src.Skipped(), len(want)/2)
+		}
+	}
+}
+
+// hugeMetric pins the top-of-range bucketing: one pair lands in the
+// overflow exponent bucket [2^1023, MaxFloat64] whose hi overflows to
+// +Inf, and another pair is genuinely infinite. The two must never be
+// conflated — the +Inf pair streams exactly once, last.
+type hugeMetric struct{ n int }
+
+func (m hugeMetric) N() int { return m.n }
+func (m hugeMetric) Dist(i, j int) float64 {
+	if i > j {
+		i, j = j, i
+	}
+	switch {
+	case i == 0 && j == m.n-1:
+		return math.Inf(1)
+	case i == 1 && j == m.n-1:
+		return math.MaxFloat64
+	case i == 2 && j == m.n-1:
+		return math.Ldexp(1, 1023)
+	}
+	return float64(j - i)
+}
+
+// TestStreamedPairOrderOverflowBucket: weights at and above 2^1023 share
+// a bucket whose upper bound overflows Ldexp to +Inf; the collection must
+// still exclude the genuinely infinite pairs from it (they have their own
+// final bucket), or candidates would be emitted twice.
+func TestStreamedPairOrderOverflowBucket(t *testing.T) {
+	m := hugeMetric{n: 8}
+	want := sortedPairs(m)
+	got := drainSource(NewMetricSource(m, 4), []int{3})
+	equalEdgeSeq(t, "overflow-bucket", want, got)
+	if last := got[len(got)-1]; !math.IsInf(last.W, 1) {
+		t.Fatalf("infinite pair not last: %+v", last)
+	}
+	if n := len(got); n != m.n*(m.n-1)/2 {
+		t.Fatalf("emitted %d pairs, want %d (no duplicates)", n, m.n*(m.n-1)/2)
+	}
+}
+
 // TestMetricSourceDegenerateInputs covers empty, single-point, and
 // duplicate-point (zero-distance) supplies.
 func TestMetricSourceDegenerateInputs(t *testing.T) {

@@ -131,10 +131,6 @@ func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*
 	if !validStretch(t) {
 		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	n := g.N()
 	src := opts.Source
 	if src == nil {
@@ -144,14 +140,47 @@ func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*
 			src = NewGraphEdgeSource(g, opts.BucketPairs)
 		}
 	}
-	res := &Result{N: n, Stretch: t}
-	h := graph.New(n)
-	serial := graph.NewSearcher(n)
 	stats := opts.Stats
 	if stats == nil {
 		stats = &ParallelStats{}
 	}
 	*stats = ParallelStats{}
+	res := &Result{N: n, Stretch: t}
+	sc := &graphScan{
+		t:       t,
+		workers: opts.Workers,
+		h:       graph.New(n),
+		res:     res,
+		stats:   stats,
+	}
+	sc.run(src, opts.BatchSize)
+	return res, nil
+}
+
+// graphScan bundles the state of one batched greedy graph scan: the
+// partial spanner and the result being accumulated. A fresh build starts
+// it empty; the incremental engine starts it at the preserved prefix of a
+// previous scan and drains only the tail of the candidate stream.
+type graphScan struct {
+	t       float64
+	workers int // <= 0 selects GOMAXPROCS
+	h       *graph.Graph
+	res     *Result
+	stats   *ParallelStats
+}
+
+// run drains src through the batched-certification scan, appending every
+// accept to the scan's result; batchSize <= 0 selects adaptive batching.
+// On return any candidates a cut-resumed source suppressed are folded
+// into EdgesExamined.
+func (sc *graphScan) run(src CandidateSource, batchSize int) {
+	t, h, res, stats := sc.t, sc.h, sc.res, sc.stats
+	workers := sc.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := h.N()
+	serial := graph.NewSearcher(n)
 
 	accept := func(e graph.Edge) {
 		h.MustAddEdge(e.U, e.V, e.W)
@@ -159,18 +188,18 @@ func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*
 		res.Weight += e.W
 		stats.Kept++
 	}
-	finish := func() *Result {
+	finish := func() {
 		if bs, ok := src.(*bucketedSource); ok {
 			stats.PeakBucketPairs = bs.PeakBucket()
+			res.EdgesExamined += bs.Skipped()
 		}
-		return res
 	}
 
 	if workers == 1 {
 		// Serial fast path: no snapshot pass, every edge tested once
 		// against the live spanner, exactly like GreedyGraph but with the
 		// bidirectional primitive; the supply is still streamed.
-		chunk := opts.BatchSize
+		chunk := batchSize
 		if chunk <= 0 {
 			chunk = maxBatch
 		}
@@ -188,8 +217,9 @@ func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*
 				accept(e)
 			}
 		}
-		stats.FinalBatchSize = serialBatchStat(opts.BatchSize, res.EdgesExamined)
-		return finish(), nil
+		stats.FinalBatchSize = serialBatchStat(batchSize, res.EdgesExamined)
+		finish()
+		return
 	}
 
 	pool := make([]*graph.Searcher, workers)
@@ -198,7 +228,7 @@ func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*
 	}
 	var certified []bool
 
-	batch := opts.BatchSize
+	batch := batchSize
 	adaptive := batch <= 0
 	if adaptive {
 		batch = initialBatch(workers)
@@ -264,5 +294,5 @@ func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*
 		}
 	}
 	stats.FinalBatchSize = batch
-	return finish(), nil
+	finish()
 }

@@ -189,6 +189,50 @@ func (g *Graph) dijkstraAvoiding(src, dst int, limit float64, avoid Edge, s *dij
 	}
 }
 
+// dijkstraMasked is dijkstra on g minus every edge incident to a masked
+// vertex (vertex failure): a relaxation into a masked vertex is skipped, so
+// masked vertices are never enqueued and act as if isolated, which equals
+// removing all their incident edges without materializing the reduced
+// graph. A masked src keeps dist[src] = 0 but relaxes nothing, matching a
+// copy that still contains the (isolated) vertex. Like dijkstraAvoiding,
+// the relaxation loop deliberately mirrors dijkstra above instead of
+// adding a mask branch to the hot loop — a change to either loop must be
+// reflected in the other (TestDistanceWithinMaskedMatchesMaskedCopy
+// cross-checks them). The caller owns both the scratch and the mask and
+// must reset them.
+func (g *Graph) dijkstraMasked(src, dst int, limit float64, masked []bool, s *dijkstraScratch) {
+	s.dist[src] = 0
+	s.touched = append(s.touched, int32(src))
+	if masked[src] {
+		return
+	}
+	s.heap.Push(src, 0)
+	for s.heap.Len() > 0 {
+		u, du := s.heap.Pop()
+		if u == dst {
+			break
+		}
+		for _, h := range g.adj[u] {
+			v := int(h.to)
+			if masked[v] {
+				continue
+			}
+			nd := du + h.w
+			if nd > limit {
+				continue
+			}
+			if nd < s.dist[v] {
+				if s.dist[v] == Inf {
+					s.touched = append(s.touched, int32(v))
+				}
+				s.dist[v] = nd
+				s.parent[v] = int32(u)
+				s.heap.Push(v, nd)
+			}
+		}
+	}
+}
+
 // APSP computes all-pairs shortest-path distances by running Dijkstra from
 // every vertex. The result is an n x n matrix; row i holds distances from i.
 // Time O(n (m + n) log n); intended for the metric-space constructions where

@@ -88,17 +88,28 @@ func (g *Graph) MaxDegree() int {
 	return best
 }
 
-// AddEdge inserts the undirected edge (u, v) with weight w. It returns an
-// error if the endpoints are out of range, equal (self-loop), or the weight
-// is not a positive finite number.
-func (g *Graph) AddEdge(u, v int, w float64) error {
+// CheckEdge reports whether the undirected edge (u, v, w) is admissible in
+// a graph on n vertices: endpoints in range, no self-loop, positive finite
+// weight. It is the single definition of edge validity — AddEdge applies
+// it, and batch APIs use it to pre-validate before mutating anything.
+func CheckEdge(n, u, v int, w float64) error {
 	switch {
-	case u < 0 || u >= g.N() || v < 0 || v >= g.N():
-		return fmt.Errorf("graph: edge (%d, %d) out of range [0, %d)", u, v, g.N())
+	case u < 0 || u >= n || v < 0 || v >= n:
+		return fmt.Errorf("graph: edge (%d, %d) out of range [0, %d)", u, v, n)
 	case u == v:
 		return fmt.Errorf("graph: self-loop at vertex %d", u)
 	case !(w > 0) || math.IsInf(w, 0):
 		return fmt.Errorf("graph: edge (%d, %d) has non-positive or non-finite weight %v", u, v, w)
+	}
+	return nil
+}
+
+// AddEdge inserts the undirected edge (u, v) with weight w. It returns an
+// error if the endpoints are out of range, equal (self-loop), or the weight
+// is not a positive finite number.
+func (g *Graph) AddEdge(u, v int, w float64) error {
+	if err := CheckEdge(g.N(), u, v, w); err != nil {
+		return err
 	}
 	g.addEdgeUnchecked(u, v, w)
 	return nil
@@ -231,18 +242,26 @@ func WeightInRange(w, lo, hi float64) bool {
 	return w >= lo && (w < hi || w == hi && math.IsInf(hi, 1))
 }
 
+// EdgeLess reports whether a precedes b in the greedy scan order:
+// non-decreasing weight, ties broken by (U, V). It is the single
+// definition of that order — SortEdges sorts by it, and the incremental
+// engine uses it to locate the first scan position an inserted candidate
+// can occupy.
+func EdgeLess(a, b Edge) bool {
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
 // SortEdges sorts es in non-decreasing order of weight with deterministic
 // (U, V) tie-breaking, in place.
 func SortEdges(es []Edge) {
 	sort.Slice(es, func(i, j int) bool {
-		a, b := es[i], es[j]
-		if a.W != b.W {
-			return a.W < b.W
-		}
-		if a.U != b.U {
-			return a.U < b.U
-		}
-		return a.V < b.V
+		return EdgeLess(es[i], es[j])
 	})
 }
 

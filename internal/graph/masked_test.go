@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// maskCopy materializes the vertex-failure reference: a copy of g with all
+// edges incident to the dead vertices removed. The in-place masked search
+// must agree with DistanceWithin on this copy for every query.
+func maskCopy(g *Graph, dead []int) *Graph {
+	isDead := make(map[int]bool, len(dead))
+	for _, v := range dead {
+		isDead[v] = true
+	}
+	out := New(g.N())
+	for _, e := range g.Edges() {
+		if !isDead[e.U] && !isDead[e.V] {
+			out.MustAddEdge(e.U, e.V, e.W)
+		}
+	}
+	return out
+}
+
+// TestDistanceWithinMaskedMatchesMaskedCopy cross-checks the in-place
+// vertex-avoiding search against the materializing masked-copy reference
+// on random graphs: for random fault sets of size 0, 1, and 2 and random
+// endpoint pairs (including dead endpoints), the masked distance must
+// equal the distance in the reduced copy.
+func TestDistanceWithinMaskedMatchesMaskedCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 5; trial++ {
+		n := 15 + rng.Intn(15)
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			g.MustAddEdge(u, v, 0.5+rng.Float64())
+		}
+		search := NewSearcher(n)
+		for q := 0; q < 60; q++ {
+			var dead []int
+			switch q % 3 {
+			case 1:
+				dead = []int{rng.Intn(n)}
+			case 2:
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a == b {
+					b = (b + 1) % n
+				}
+				dead = []int{a, b}
+			}
+			ref := maskCopy(g, dead)
+			src, dst := rng.Intn(n), rng.Intn(n)
+			limit := rng.Float64() * 8
+			wantD, wantOK := ref.DistanceWithin(src, dst, limit)
+			gotD, gotOK := search.DistanceWithinMasked(g, src, dst, limit, dead)
+			if wantOK != gotOK || wantD != gotD {
+				t.Fatalf("trial %d dead %v (%d->%d, limit %v): masked (%v, %v), copy reference (%v, %v)",
+					trial, dead, src, dst, limit, gotD, gotOK, wantD, wantOK)
+			}
+		}
+	}
+}
+
+// TestBoundedDistancesMaskedMatchesMaskedCopy checks the single-source
+// variant against a full Dijkstra on the masked copy, including the
+// convention that beyond-limit vertices report Inf.
+func TestBoundedDistancesMaskedMatchesMaskedCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	n := 25
+	g := New(n)
+	for i := 0; i < 4*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		g.MustAddEdge(u, v, 0.5+rng.Float64())
+	}
+	search := NewSearcher(n)
+	row := make([]float64, n)
+	for _, dead := range [][]int{nil, {3}, {3, 17}, {0}} {
+		ref := maskCopy(g, dead)
+		for src := 0; src < n; src++ {
+			const limit = 2.5
+			sp := ref.Dijkstra(src)
+			search.BoundedDistancesMasked(g, src, limit, dead, row)
+			for v := 0; v < n; v++ {
+				want := sp.Dist[v]
+				if want > limit {
+					want = Inf
+				}
+				if row[v] != want {
+					t.Fatalf("dead %v src %d: dist[%d] = %v, want %v", dead, src, v, row[v], want)
+				}
+			}
+		}
+	}
+}
+
+// TestDistanceWithinMaskedDeadEndpoints pins the endpoint convention: a
+// dead endpoint is isolated (distance Inf to everything else) but still
+// at distance 0 from itself, matching the materialized copy.
+func TestDistanceWithinMaskedDeadEndpoints(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	search := NewSearcher(3)
+	if d, ok := search.DistanceWithinMasked(g, 0, 2, 10, []int{0}); ok {
+		t.Fatalf("dead src reachable: (%v, %v)", d, ok)
+	}
+	if d, ok := search.DistanceWithinMasked(g, 0, 2, 10, []int{2}); ok {
+		t.Fatalf("dead dst reachable: (%v, %v)", d, ok)
+	}
+	if d, ok := search.DistanceWithinMasked(g, 1, 1, 10, []int{1}); !ok || d != 0 {
+		t.Fatalf("dead self-distance: (%v, %v), want (0, true)", d, ok)
+	}
+	// The mask must be fully cleared between calls: the same searcher with
+	// no faults sees the intact graph again.
+	if d, ok := search.DistanceWithinMasked(g, 0, 2, 10, nil); !ok || d != 2 {
+		t.Fatalf("mask leaked into next query: (%v, %v), want (2, true)", d, ok)
+	}
+}

@@ -13,7 +13,10 @@ type Searcher struct {
 	// bidir is allocated on first use so Searchers that only ever run
 	// one-sided queries don't pay for the second set of buffers.
 	bidir *bidirScratch
-	n     int
+	// masked is the vertex-failure mark buffer of the masked searches,
+	// allocated on first use and cleared after every call.
+	masked []bool
+	n      int
 }
 
 // NewSearcher returns a Searcher for graphs on n vertices.
@@ -76,6 +79,62 @@ func (s *Searcher) DistanceWithinAvoiding(g *Graph, src, dst int, limit float64,
 		return d, true
 	}
 	return Inf, false
+}
+
+// mark sets the failure marks for dead and returns the mask; the caller
+// must call unmark with the same slice before returning.
+func (s *Searcher) mark(dead []int) []bool {
+	if s.masked == nil {
+		s.masked = make([]bool, s.n)
+	}
+	for _, v := range dead {
+		s.masked[v] = true
+	}
+	return s.masked
+}
+
+func (s *Searcher) unmark(dead []int) {
+	for _, v := range dead {
+		s.masked[v] = false
+	}
+}
+
+// DistanceWithinMasked is DistanceWithin on the graph g minus every edge
+// incident to a vertex in dead (vertex failures): it reports the shortest
+// src–dst distance that uses at most limit weight and avoids all dead
+// vertices, and (Inf, false) when no such path exists. The dead vertices
+// themselves remain in the vertex set, matching a materialized copy with
+// their incident edges removed — but without building that copy, which is
+// what lets the fault-tolerant paths probe every fault set allocation-free
+// instead of cloning the graph once per set.
+func (s *Searcher) DistanceWithinMasked(g *Graph, src, dst int, limit float64, dead []int) (float64, bool) {
+	if src == dst {
+		return 0, true
+	}
+	masked := s.mark(dead)
+	g.dijkstraMasked(src, dst, limit, masked, s.scratch)
+	d := s.scratch.dist[dst]
+	s.scratch.reset()
+	s.unmark(dead)
+	if d <= limit {
+		return d, true
+	}
+	return Inf, false
+}
+
+// BoundedDistancesMasked computes single-source shortest-path distances
+// from src in g minus every edge incident to a vertex in dead, filling dst
+// (length n) with the result. Vertices beyond limit — and every dead
+// vertex other than src itself, which keeps distance 0 exactly as in the
+// materialized masked copy — keep Inf. One call answers every surviving
+// pair out of src for one fault set, the access pattern of
+// VerifyFaultTolerance.
+func (s *Searcher) BoundedDistancesMasked(g *Graph, src int, limit float64, dead []int, dst []float64) {
+	masked := s.mark(dead)
+	g.dijkstraMasked(src, -1, limit, masked, s.scratch)
+	copy(dst, s.scratch.dist)
+	s.scratch.reset()
+	s.unmark(dead)
 }
 
 // Distances computes single-source shortest-path distances from src in g,

@@ -21,6 +21,11 @@
 //     with the active weight bucket and the spanner's working set
 //     instead of the Θ(n²) materialize-then-sort pipeline; see
 //     GreedyMetricParallelOpts and GreedyParallelOpts for the knobs.
+//   - NewIncremental / NewIncrementalGraph — the maintained greedy
+//     spanner: point insertions (metrics) and edge insertions (graphs)
+//     after the initial build, each batch replayed from the first scan
+//     position it disturbs, with the result bit-identical to a
+//     from-scratch greedy build on the union.
 //   - ApproxGreedy — the O(n log n)-style approximate-greedy algorithm for
 //     doubling metrics (Section 5, Theorem 6), with constant lightness and
 //     degree.
@@ -188,6 +193,47 @@ func NewMetricCandidateSource(m Metric, bucketPairs int) CandidateSource {
 // cap.
 func NewGraphCandidateSource(g *Graph, bucketPairs int) CandidateSource {
 	return core.NewGraphEdgeSource(g, bucketPairs)
+}
+
+// Incremental re-exports the maintained greedy spanner: after the initial
+// build it accepts point insertions (metric mode, Insert) or edge
+// insertions (graph mode, InsertEdges), and after every batch its Result
+// is bit-identical to a from-scratch greedy build on the union. An
+// insertion resumes the greedy scan at the first position a new candidate
+// pair occupies: the accepted prefix below it is preserved verbatim,
+// whole candidate buckets below it are skipped by count alone, and cached
+// bound rows untouched since that prefix keep certifying skips — sound
+// because bounds proven on a preserved prefix only overestimate the
+// replay's spanner distances.
+type Incremental = core.IncrementalSpanner
+
+// NewIncremental builds the greedy t-spanner of m and returns it as a
+// maintained spanner ready for point insertions: call Insert with a
+// metric that extends m (same leading points and distances, new points
+// appended) and Result for the current spanner. workers selects the
+// replay engine's concurrency (0 = GOMAXPROCS).
+func NewIncremental(m Metric, t float64, workers int) (*Incremental, error) {
+	return core.NewIncrementalMetric(m, t, core.MetricParallelOptions{Workers: workers})
+}
+
+// NewIncrementalOpts is NewIncremental with explicit engine controls
+// (batch width, bucket cap, stats). Source and Materialize are rejected:
+// a maintained spanner owns its candidate supply.
+func NewIncrementalOpts(m Metric, t float64, opts MetricParallelOptions) (*Incremental, error) {
+	return core.NewIncrementalMetric(m, t, opts)
+}
+
+// NewIncrementalGraph builds the greedy t-spanner of g (cloned; later
+// mutations of g are not observed) and returns it as a maintained spanner
+// ready for edge insertions via InsertEdges.
+func NewIncrementalGraph(g *Graph, t float64, workers int) (*Incremental, error) {
+	return core.NewIncrementalGraph(g, t, core.ParallelOptions{Workers: workers})
+}
+
+// NewIncrementalGraphOpts is NewIncrementalGraph with explicit engine
+// controls; Source and Materialize are rejected.
+func NewIncrementalGraphOpts(g *Graph, t float64, opts ParallelOptions) (*Incremental, error) {
+	return core.NewIncrementalGraph(g, t, opts)
 }
 
 // ApproxGreedy runs the approximate-greedy (1+eps)-spanner algorithm for

@@ -130,3 +130,83 @@ func TestPublicAPIMetricFromGraphAndMatrix(t *testing.T) {
 		t.Fatalf("matrix Dist = %v", mm.Dist(1, 0))
 	}
 }
+
+// TestPublicAPIIncremental exercises the maintained-spanner facade in both
+// modes against from-scratch rebuilds.
+func TestPublicAPIIncremental(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0.4, 0.6}, {2, 2}, {2.5, 0.5}}
+	sub, err := NewEuclidean(pts[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncremental(sub, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{5, 7} {
+		union, err := NewEuclidean(pts[:k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Insert(union); err != nil {
+			t.Fatal(err)
+		}
+		want, err := GreedyMetric(union, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := inc.Result()
+		if got.Size() != want.Size() || got.Weight != want.Weight {
+			t.Fatalf("k=%d: incremental (%d, %v) vs from-scratch (%d, %v)",
+				k, got.Size(), got.Weight, want.Size(), want.Weight)
+		}
+		for i := range want.Edges {
+			if got.Edges[i] != want.Edges[i] {
+				t.Fatalf("k=%d: edge %d differs", k, i)
+			}
+		}
+		if _, err := VerifyMetricSpanner(got.Graph(), union, 1.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	g := NewGraph(30)
+	var held []Edge
+	for i := 0; i < 120; i++ {
+		u, v := rng.Intn(30), rng.Intn(30)
+		if u == v {
+			continue
+		}
+		e := Edge{U: u, V: v, W: 0.5 + rng.Float64()}
+		if i%4 == 3 {
+			held = append(held, e)
+			continue
+		}
+		g.MustAddEdge(e.U, e.V, e.W)
+	}
+	ginc, err := NewIncrementalGraph(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ginc.InsertEdges(held...); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range held {
+		g.MustAddEdge(e.U, e.V, e.W)
+	}
+	want, err := Greedy(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ginc.Result()
+	if got.Size() != want.Size() || got.Weight != want.Weight || got.EdgesExamined != want.EdgesExamined {
+		t.Fatalf("graph mode: incremental (%d, %v, %d) vs from-scratch (%d, %v, %d)",
+			got.Size(), got.Weight, got.EdgesExamined, want.Size(), want.Weight, want.EdgesExamined)
+	}
+	for i := range want.Edges {
+		if got.Edges[i] != want.Edges[i] {
+			t.Fatalf("graph mode: edge %d differs", i)
+		}
+	}
+}
