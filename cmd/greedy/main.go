@@ -14,6 +14,8 @@
 //	                                             # last 10 inputs, insert those via
 //	                                             # the maintained spanner
 //	greedy -t 3 -graph edges.txt -insert 25      # same for the last 25 edges
+//	greedy -t 1.5 -points pts.txt -hubs -1       # hub-label certification fast path
+//	                                             # (auto hub count; -hubs k picks k)
 //
 // Graph files list one edge per line as "u v w" with integer vertex ids
 // (vertex count is inferred as max id + 1). Point files list one point per
@@ -54,6 +56,7 @@ func run(args []string, out *os.File) error {
 	algo := fs.String("algo", "greedy", "construction: greedy or approx (points only)")
 	workers := fs.Int("workers", 0, "parallel greedy workers (0 = GOMAXPROCS, -1 = sequential reference engine)")
 	insert := fs.Int("insert", 0, "build on all but the last k inputs, then add those through the incremental engine")
+	hubs := fs.Int("hubs", 0, "hub-label certification fast path: k hub vertices (0 = off, -1 = auto); output is identical either way")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +65,10 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("use exactly one of -graph or -points")
 	case *pointsPath != "" && *algo == "approx" && *workers != 0:
 		return fmt.Errorf("-workers applies to the greedy constructions only")
+	case *pointsPath != "" && *algo == "approx" && *hubs != 0:
+		return fmt.Errorf("-hubs applies to the greedy constructions only")
+	case *hubs != 0 && *workers < 0:
+		return fmt.Errorf("-hubs applies to the batched engines; the sequential reference (-workers -1) has no oracle")
 	case *insert < 0:
 		return fmt.Errorf("-insert must be >= 0, got %d", *insert)
 	case *insert > 0 && *workers < 0:
@@ -75,14 +82,16 @@ func run(args []string, out *os.File) error {
 		}
 		var res *core.Result
 		if *insert > 0 {
-			res, err = incrementalGraph(g, *t, *workers, *insert)
+			res, err = incrementalGraph(g, *t, *workers, resolveHubs(*hubs, g.N()), *insert)
 		} else if *workers < 0 {
 			// The parallel engine produces the same spanner as the
 			// sequential scan; -workers -1 keeps the reference path
 			// reachable for cross-checking.
 			res, err = core.GreedyGraph(g, *t)
 		} else {
-			res, err = core.GreedyGraphParallel(g, *t, *workers)
+			res, err = core.GreedyGraphParallelOpts(g, *t, core.ParallelOptions{
+				Workers: *workers, Hubs: resolveHubs(*hubs, g.N()),
+			})
 		}
 		if err != nil {
 			return err
@@ -101,14 +110,16 @@ func run(args []string, out *os.File) error {
 		case "greedy":
 			var res *core.Result
 			if *insert > 0 {
-				res, err = incrementalPoints(pts, *t, *workers, *insert)
+				res, err = incrementalPoints(pts, *t, *workers, resolveHubs(*hubs, m.N()), *insert)
 			} else if *workers < 0 {
 				// The parallel metric engine produces the same spanner as
 				// the serial cached-bound scan; -workers -1 keeps the
 				// reference path reachable for cross-checking.
 				res, err = core.GreedyMetricFastSerial(m, *t)
 			} else {
-				res, err = core.GreedyMetricFastParallel(m, *t, *workers)
+				res, err = core.GreedyMetricFastParallelOpts(m, *t, core.MetricParallelOptions{
+					Workers: *workers, Hubs: resolveHubs(*hubs, m.N()),
+				})
 			}
 			if err != nil {
 				return err
@@ -131,10 +142,19 @@ func run(args []string, out *os.File) error {
 	}
 }
 
+// resolveHubs maps the -hubs flag to an oracle size: negative selects the
+// automatic hub count for the instance.
+func resolveHubs(hubs, n int) int {
+	if hubs < 0 {
+		return core.DefaultHubs(n)
+	}
+	return hubs
+}
+
 // incrementalPoints builds the spanner of all but the last k points and
 // inserts those through the maintained incremental spanner — the output is
 // identical to a from-scratch build on the full point set.
-func incrementalPoints(pts [][]float64, t float64, workers, k int) (*core.Result, error) {
+func incrementalPoints(pts [][]float64, t float64, workers, hubs, k int) (*core.Result, error) {
 	if k >= len(pts) {
 		return nil, fmt.Errorf("-insert %d holds out every one of the %d points", k, len(pts))
 	}
@@ -142,7 +162,7 @@ func incrementalPoints(pts [][]float64, t float64, workers, k int) (*core.Result
 	if err != nil {
 		return nil, err
 	}
-	inc, err := core.NewIncrementalMetric(base, t, core.MetricParallelOptions{Workers: workers})
+	inc, err := core.NewIncrementalMetric(base, t, core.MetricParallelOptions{Workers: workers, Hubs: hubs})
 	if err != nil {
 		return nil, err
 	}
@@ -158,13 +178,13 @@ func incrementalPoints(pts [][]float64, t float64, workers, k int) (*core.Result
 
 // incrementalGraph builds the spanner of g minus its last k edges (input
 // order) and inserts those through the maintained incremental spanner.
-func incrementalGraph(g *graph.Graph, t float64, workers, k int) (*core.Result, error) {
+func incrementalGraph(g *graph.Graph, t float64, workers, hubs, k int) (*core.Result, error) {
 	edges := g.Edges()
 	if k >= len(edges) {
 		return nil, fmt.Errorf("-insert %d holds out every one of the %d edges", k, len(edges))
 	}
 	base := g.Subgraph(edges[:len(edges)-k])
-	inc, err := core.NewIncrementalGraph(base, t, core.ParallelOptions{Workers: workers})
+	inc, err := core.NewIncrementalGraph(base, t, core.ParallelOptions{Workers: workers, Hubs: hubs})
 	if err != nil {
 		return nil, err
 	}

@@ -174,3 +174,39 @@ func TestReadPointsBadLine(t *testing.T) {
 		t.Error("bad point accepted")
 	}
 }
+
+func TestRunHubsMatchesDefault(t *testing.T) {
+	var pts strings.Builder
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&pts, "%d %d\n", i%6, i/6)
+	}
+	path := writeTemp(t, "p.txt", pts.String())
+	base, err := runCapture(t, []string{"-t", "1.5", "-points", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hubs := range []string{"-1", "4"} {
+		got, err := runCapture(t, []string{"-t", "1.5", "-points", path, "-hubs", hubs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != base {
+			t.Fatalf("-hubs %s output differs from the default engine:\n%s\nvs\n%s", hubs, got, base)
+		}
+	}
+	gpath := writeTemp(t, "g.txt", "0 1 1\n1 2 1\n0 2 1.5\n2 3 1\n3 0 2\n")
+	gbase, err := runCapture(t, []string{"-t", "2", "-graph", gpath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghubs, err := runCapture(t, []string{"-t", "2", "-graph", gpath, "-hubs", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ghubs != gbase {
+		t.Fatalf("-hubs graph output differs:\n%s\nvs\n%s", ghubs, gbase)
+	}
+	if _, err := runCapture(t, []string{"-t", "1.5", "-points", path, "-hubs", "4", "-workers", "-1"}); err == nil {
+		t.Fatal("want error for -hubs with the sequential reference engine")
+	}
+}

@@ -30,10 +30,19 @@
 //
 // -exp incrementalbench times the maintained incremental spanner against
 // the rebuild-per-insert policy (one from-scratch build per inserted
-// point): amortized per-insert cost, peak/total allocation for both, and
-// edge-for-edge identity of the final spanner, writing
+// point): amortized per-insert cost, peak/total allocation for both,
+// the coalescing policy's amortization of fine-grained insert streams,
+// and edge-for-edge identity of the final spanner, writing
 // BENCH_incremental.json by default. -workers selects the engine worker
 // count (default 1).
+//
+// -exp hubbench times the hub-label certification fast path against the
+// hubs-disabled engines on the graph, metric, and incremental acceptance
+// instances: wall-clock, exact searches avoided, hub hit rate and load
+// share, maintenance cost, and peak/total allocation, with outputs
+// compared edge-for-edge (counters included), writing BENCH_hub.json by
+// default. -workers selects the engine worker count (default 1); -hubs
+// overrides the enabled run's hub count (default: auto per instance).
 package main
 
 import (
@@ -54,12 +63,13 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("spannerbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench")
+	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench, hubbench")
 	scaleFlag := fs.String("scale", "small", "experiment scale: small or full")
 	seed := fs.Int64("seed", 42, "random seed for workload generation")
 	jsonPath := fs.String("json", "", "output path for the greedybench/greedymetricbench report (default BENCH_greedy.json / BENCH_greedymetric.json)")
 	reps := fs.Int("reps", 3, "repetitions per timing in greedybench/greedymetricbench (min 3)")
 	workers := fs.Int("workers", 0, "metric-path workers for greedymetricbench (0 = sweep 1, 4, GOMAXPROCS)")
+	hubCount := fs.Int("hubs", 0, "hub count for hubbench's enabled run (<= 0 = auto per instance)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -132,6 +142,10 @@ func run(args []string) error {
 		tab, report, err := bench.IncrementalBench(scale, *seed, *reps, *workers)
 		return writeReport("BENCH_incremental.json", tab, report, err)
 	}
+	if name == "hubbench" {
+		tab, report, err := bench.HubBench(scale, *seed, *reps, *workers, *hubCount)
+		return writeReport("BENCH_hub.json", tab, report, err)
+	}
 	if name == "all" || name == "ablations" {
 		var (
 			tabs []*bench.Table
@@ -154,7 +168,7 @@ func run(args []string) error {
 	}
 	r, ok := runners[name]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, or incrementalbench)", *exp)
+		return fmt.Errorf("unknown experiment %q (want all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench, or hubbench)", *exp)
 	}
 	tab, err := r()
 	if err != nil {

@@ -105,6 +105,45 @@ func ExampleGreedyMetricParallel() {
 	// size=4 identical=true
 }
 
+// ExampleGreedyMetricParallelOpts_hubs enables the hub-label
+// certification fast path: the Hubs option maintains k landmark distance
+// arrays over the growing spanner and answers most skip certifications
+// from the triangle-inequality upper bound min_h d(u,h)+d(h,v) instead of
+// running a Dijkstra. Hub bounds only ever overestimate spanner
+// distances, so a hub-certified skip is a decision the exact engine would
+// also make — the output is bit-identical with hubs on or off, at any k.
+func ExampleGreedyMetricParallelOpts_hubs() {
+	pts := make([][]float64, 0, 64)
+	for i := 0; i < 64; i++ {
+		pts = append(pts, []float64{float64(i % 8), float64(i / 8)})
+	}
+	m, err := spanner.NewEuclidean(pts)
+	if err != nil {
+		panic(err)
+	}
+	plain, err := spanner.GreedyMetricParallel(m, 1.5, 1)
+	if err != nil {
+		panic(err)
+	}
+	var stats spanner.MetricParallelStats
+	hubbed, err := spanner.GreedyMetricParallelOpts(m, 1.5, spanner.MetricParallelOptions{
+		Workers: 1,
+		Hubs:    spanner.DefaultHubs(len(pts)),
+		Stats:   &stats,
+	})
+	if err != nil {
+		panic(err)
+	}
+	identical := plain.Size() == hubbed.Size() && plain.Weight == hubbed.Weight
+	for i := range plain.Edges {
+		identical = identical && plain.Edges[i] == hubbed.Edges[i]
+	}
+	fmt.Printf("size=%d identical=%v hub-certified=%v\n",
+		hubbed.Size(), identical, stats.HubSkips > 0)
+	// Output:
+	// size=112 identical=true hub-certified=true
+}
+
 // ExampleNewIncremental maintains a greedy spanner under point
 // insertions: the inserted point is spliced into the greedy scan at its
 // weight position and only the disturbed tail is replayed, yet the result

@@ -98,3 +98,46 @@ func BenchmarkGreedyGraphStreamed(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkGreedyMetricHubs(b *testing.B) {
+	m := benchMetric(b, 220)
+	opts := core.MetricParallelOptions{Workers: 1, Hubs: core.DefaultHubs(220)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreedyMetricFastParallelOpts(m, 1.5, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyGraphHubs(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	g := gen.ErdosRenyi(rng, 300, 0.15, 0.5, 10)
+	opts := core.ParallelOptions{Workers: 1, Hubs: core.DefaultHubs(300)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreedyGraphParallelOpts(g, 3, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncrementalInsertCoalesced(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	pts := gen.UniformPoints(rng, 240, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc, err := core.NewIncrementalMetric(metric.MustEuclidean(pts[:200]), 1.5,
+			core.MetricParallelOptions{Workers: 1, Hubs: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		inc.SetPolicy(core.IncrementalPolicy{MinBatch: 8})
+		for k := 201; k <= len(pts); k++ {
+			if err := inc.Insert(metric.MustEuclidean(pts[:k])); err != nil {
+				b.Fatal(err)
+			}
+		}
+		inc.Flush()
+	}
+}

@@ -52,6 +52,22 @@ type IncrementalBenchCase struct {
 	// PerInsertSpeedup is RebuildMedianMS / IncrementalPerInsertMS: how
 	// many times cheaper an insertion is than the rebuild policy's.
 	PerInsertSpeedup float64 `json:"per_insert_speedup"`
+	// PerPoint* time the same insertion span delivered as a fine-grained
+	// stream (one point per Insert call) under the default
+	// replay-every-call policy — InsertBatch times more replays.
+	PerPointTotalMS     []float64 `json:"per_point_total_ms"`
+	PerPointMedianMS    float64   `json:"per_point_median_ms"`
+	PerPointPerInsertMS float64   `json:"per_point_per_insert_ms"`
+	// Coalesced* time the identical fine-grained stream under
+	// IncrementalPolicy{MinBatch: InsertBatch}: replays are deferred
+	// until InsertBatch points are pending, so the stream amortizes like
+	// the batched calls without the caller batching anything.
+	CoalescedTotalMS     []float64 `json:"coalesced_total_ms"`
+	CoalescedMedianMS    float64   `json:"coalesced_median_ms"`
+	CoalescedPerInsertMS float64   `json:"coalesced_per_insert_ms"`
+	// CoalesceSpeedup is PerPointMedianMS / CoalescedMedianMS: what the
+	// batching policy recovers on fine-grained insert streams.
+	CoalesceSpeedup float64 `json:"coalesce_speedup"`
 	// PeakAllocRatio is RebuildPeakAllocBytes over
 	// IncrementalPeakAllocBytes (the insertion sequence's peak).
 	PeakAllocRatio float64 `json:"peak_alloc_ratio"`
@@ -87,8 +103,10 @@ func IncrementalBench(scale Scale, seed int64, reps, workers int) (*Table, *Incr
 			"peak MB", "total MB", "identical"},
 		Caption: "Rebuild = one from-scratch greedy build per inserted point (its per-insert cost is one\n" +
 			"full build at n); incremental = the maintained spanner replaying only the disturbed scan\n" +
-			"tail per batch, amortized over the inserted points. peak/total MB from a dedicated\n" +
-			"non-timed pass over the same insertion sequence.",
+			"tail per batch, amortized over the inserted points. per-point / coalesced deliver the same\n" +
+			"span one point per Insert call: immediately replayed vs deferred by\n" +
+			"IncrementalPolicy{MinBatch: batch}, which recovers the batched amortization without the\n" +
+			"caller batching. peak/total MB from a dedicated non-timed pass.",
 	}
 	report := &IncrementalBenchReport{
 		GoVersion:  runtime.Version(),
@@ -191,6 +209,51 @@ func IncrementalBench(scale Scale, seed int64, reps, workers int) (*Table, *Incr
 		if c.IncrementalPeakAllocBytes > 0 {
 			c.PeakAllocRatio = float64(c.RebuildPeakAllocBytes) / float64(c.IncrementalPeakAllocBytes)
 		}
+
+		// Fine-grained stream: the same insertion span, one point per
+		// Insert call, replayed immediately (the cost a caller who cannot
+		// batch pays today) and under the coalescing policy (MinBatch
+		// recovers the batched amortization automatically).
+		pointSubsets := make([]metric.Metric, 0, inst.inserted)
+		for nn := n0 + 1; nn <= inst.nFinal; nn++ {
+			pointSubsets = append(pointSubsets, metric.MustEuclidean(pts[:nn]))
+		}
+		stream := func(policy core.IncrementalPolicy) (*core.IncrementalSpanner, float64, error) {
+			inc, err := core.NewIncrementalMetric(metric.MustEuclidean(pts[:n0]), stretch, opts)
+			if err != nil {
+				return nil, 0, err
+			}
+			inc.SetPolicy(policy)
+			start := time.Now()
+			for _, union := range pointSubsets {
+				if err := inc.Insert(union); err != nil {
+					return nil, 0, err
+				}
+			}
+			inc.Flush()
+			return inc, time.Since(start).Seconds() * 1000, nil
+		}
+		for r := 0; r < reps; r++ {
+			inc, ms, err := stream(core.IncrementalPolicy{})
+			if err != nil {
+				return nil, nil, err
+			}
+			c.PerPointTotalMS = append(c.PerPointTotalMS, ms)
+			c.Identical = c.Identical && sameOutput(ref, inc.Result())
+			inc, ms, err = stream(core.IncrementalPolicy{MinBatch: inst.batch})
+			if err != nil {
+				return nil, nil, err
+			}
+			c.CoalescedTotalMS = append(c.CoalescedTotalMS, ms)
+			c.Identical = c.Identical && sameOutput(ref, inc.Result())
+		}
+		c.PerPointMedianMS = median(c.PerPointTotalMS)
+		c.PerPointPerInsertMS = c.PerPointMedianMS / float64(inst.inserted)
+		c.CoalescedMedianMS = median(c.CoalescedTotalMS)
+		c.CoalescedPerInsertMS = c.CoalescedMedianMS / float64(inst.inserted)
+		if c.CoalescedMedianMS > 0 {
+			c.CoalesceSpeedup = c.PerPointMedianMS / c.CoalescedMedianMS
+		}
 		span := itoa(n0) + "->" + itoa(inst.nFinal)
 		tab.AddRow(c.Kind, span, itoa(inst.batch), "rebuild",
 			f2(c.RebuildMedianMS), f2(c.RebuildSpreadPct), "1.00",
@@ -198,6 +261,12 @@ func IncrementalBench(scale Scale, seed int64, reps, workers int) (*Table, *Incr
 		tab.AddRow(c.Kind, span, itoa(inst.batch), "incremental",
 			f2(c.IncrementalPerInsertMS), f2(c.IncrementalSpreadPct), f2(c.PerInsertSpeedup),
 			mb(c.IncrementalPeakAllocBytes), mb(c.IncrementalTotalAllocBytes), yesNo(c.Identical))
+		tab.AddRow(c.Kind, span, "1", "per-point",
+			f2(c.PerPointPerInsertMS), f2(spreadPct(c.PerPointTotalMS)), "1.00",
+			"-", "-", yesNo(c.Identical))
+		tab.AddRow(c.Kind, span, "1", "coalesced",
+			f2(c.CoalescedPerInsertMS), f2(spreadPct(c.CoalescedTotalMS)), f2(c.CoalesceSpeedup),
+			"-", "-", yesNo(c.Identical))
 		report.Cases = append(report.Cases, c)
 	}
 	return tab, report, nil

@@ -41,6 +41,10 @@ type PairStreamRun struct {
 	// materialized (0 for the materialized supply, which holds all pairs
 	// at once).
 	PeakBucketPairs int `json:"peak_bucket_pairs,omitempty"`
+	// SupplyPasses counts the streamed supply's enumeration passes —
+	// the figure the merged small buckets and the subdivision prefetch
+	// shrink (0 for the materialized supply).
+	SupplyPasses int `json:"supply_passes,omitempty"`
 	// RowsAllocated counts sparse bound rows materialized by the engine.
 	RowsAllocated int `json:"rows_allocated"`
 	// Identical records edge-for-edge equality with the serial reference.
@@ -136,6 +140,7 @@ func PairStreamBench(scale Scale, seed int64, reps, workers int) (*Table, *PairS
 			run.MedianMS = median(run.MS)
 			run.SpreadPct = spreadPct(run.MS)
 			run.PeakBucketPairs = stats.PeakBucketPairs
+			run.SupplyPasses = stats.SupplyPasses
 			run.RowsAllocated = stats.RowsAllocated
 			peak, totalAlloc, err := measureAlloc(func() error {
 				_, err := core.GreedyMetricFastParallelOpts(m, stretch, opts)

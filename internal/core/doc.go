@@ -79,6 +79,30 @@
 // materialized pair list and dense float64 matrix as the
 // memory-comparison baseline and ground truth.
 //
+// # The hub-label certification fast path
+//
+// With the Hubs option both engines consult a HubOracle before paying any
+// search: k hub vertices (degree-selected on graphs, ball-growth-sampled
+// on metrics) carry maintained distance arrays over the growing spanner,
+// and the label bound min_h d(u,h)+d(h,v) certifies a skip in O(k). The
+// soundness argument is one line: the label bound is the length of a real
+// u–h–v walk in the spanner, so it dominates delta_H(u, v) by the
+// triangle inequality — a hub-certified skip is a skip the exact engine
+// would also take, and output stays bit-identical for every hub count
+// (hubs=0 reproduces the pre-hub engines verbatim). Arrays are maintained
+// lazily: an accepted edge only shrinks distances, so each hub repairs by
+// re-relaxing just the dirty radius the edge improves
+// (graph.Searcher.RelaxNewEdge) instead of re-running Dijkstra, and
+// between repairs the arrays are distances on a sub-spanner — still valid
+// upper bounds. On the metric path the oracle additionally bounds row
+// refreshes to a factor of the query radius (sound: unreached entries
+// stay +Inf, a trivial upper bound, and the pair decision reads an exact
+// settled distance or a beyond-limit verdict either way) and pre-seeds
+// the sparse bound rows with the bounds it certifies, so the cache layer
+// and the oracle compound. Across incremental insertions the arrays
+// rebase like bound rows: synced to a preserved prefix they survive and
+// repair forward; synced past the cut they are refreshed in place.
+//
 // # Incremental maintenance and the insertion-soundness invariant
 //
 // IncrementalSpanner maintains a greedy spanner under point insertions

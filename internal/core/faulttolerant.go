@@ -32,14 +32,50 @@ import (
 // degenerates to GreedyMetric. Complexity O(n^{2+f} * search) — a
 // reference implementation for experiments and audits, not a large-n tool.
 func FaultTolerantGreedy(m metric.Metric, t float64, f int) (*Result, error) {
+	return FaultTolerantGreedyOpts(m, t, f, FaultTolerantOptions{})
+}
+
+// FaultTolerantOptions configures FaultTolerantGreedyOpts.
+type FaultTolerantOptions struct {
+	// Hubs enables the hub-label fast path for the per-fault-set probes:
+	// a probe is skipped when some hub h proves a surviving u-h-v path
+	// within the limit whose shortest-path trees avoid every fault (see
+	// HubOracle.CertifyAvoiding). Certificates are sound, so the output
+	// is bit-identical for every k; <= 0 disables the oracle.
+	Hubs int
+	// Stats, when non-nil, is filled with probe counters.
+	Stats *FaultTolerantStats
+}
+
+// FaultTolerantStats reports how the fault-tolerant greedy scan spent its
+// effort: every fault-set probe is answered either by a hub certificate
+// (no search) or by a masked bounded search.
+type FaultTolerantStats struct {
+	// MaskedSearches counts masked bounded Dijkstra probes run.
+	MaskedSearches int
+	// HubCertified counts fault-set probes the hub labels certified.
+	HubCertified int
+	// HubRelaxed is the hub arrays' total maintenance cost, in re-relaxed
+	// entries.
+	HubRelaxed int
+}
+
+// FaultTolerantGreedyOpts is FaultTolerantGreedy with the hub-label fast
+// path and probe counters; see FaultTolerantOptions.
+func FaultTolerantGreedyOpts(m metric.Metric, t float64, f int, opts FaultTolerantOptions) (*Result, error) {
 	if !validStretch(t) {
 		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
 	}
 	if f < 0 || f > 2 {
 		return nil, fmt.Errorf("core: fault parameter %d out of supported range [0, 2]", f)
 	}
+	stats := opts.Stats
+	if stats == nil {
+		stats = &FaultTolerantStats{}
+	}
+	*stats = FaultTolerantStats{}
 	if f == 0 {
-		return GreedyMetric(m, t)
+		return GreedyMetricFastParallelOpts(m, t, MetricParallelOptions{Hubs: opts.Hubs})
 	}
 	n := m.N()
 	res := &Result{N: n, Stretch: t}
@@ -49,6 +85,10 @@ func FaultTolerantGreedy(m metric.Metric, t float64, f int) (*Result, error) {
 	src := NewMetricSource(m, 0)
 	h := graph.New(n)
 	search := graph.NewSearcher(n)
+	var oracle *HubOracle
+	if opts.Hubs > 0 {
+		oracle = NewHubOracle(SelectMetricHubs(m, opts.Hubs), h, 0)
+	}
 	for {
 		pairs := src.NextBatch(maxBatch)
 		if len(pairs) == 0 {
@@ -56,28 +96,45 @@ func FaultTolerantGreedy(m metric.Metric, t float64, f int) (*Result, error) {
 		}
 		for _, e := range pairs {
 			res.EdgesExamined++
-			if ftCovered(search, h, e, t, f) {
+			if ftCovered(search, h, oracle, e, t, f, stats) {
 				continue
 			}
 			h.MustAddEdge(e.U, e.V, e.W)
 			res.Edges = append(res.Edges, e)
 			res.Weight += e.W
+			if oracle != nil {
+				oracle.OnAccept(e)
+			}
 		}
+	}
+	if oracle != nil {
+		stats.HubRelaxed = oracle.Relaxed()
 	}
 	return res, nil
 }
 
 // ftCovered reports whether, for every fault set F with |F| <= f avoiding
 // e's endpoints, the current spanner minus F still connects e's endpoints
-// within t*w(e). Fault sets are enumerated directly (f <= 2) and probed
-// with the reusable searcher's masked bounded search — no graph copy and
-// no allocation per fault set (asserted by TestFaultTolerantNoGraphCopies).
-func ftCovered(search *graph.Searcher, h *graph.Graph, e graph.Edge, t float64, f int) bool {
+// within t*w(e). Fault sets are enumerated directly (f <= 2); each is
+// probed first against the hub labels (a certificate proves a surviving
+// path without any search) and only then with the reusable searcher's
+// masked bounded search — no graph copy and no allocation per fault set
+// (asserted by TestFaultTolerantNoGraphCopies).
+func ftCovered(search *graph.Searcher, h *graph.Graph, oracle *HubOracle, e graph.Edge, t float64, f int, stats *FaultTolerantStats) bool {
 	limit := t * e.W
 	n := h.N()
 	var buf [2]int
+	probe := func(dead []int) bool {
+		if oracle != nil && oracle.CertifyAvoiding(e.U, e.V, limit, dead) {
+			stats.HubCertified++
+			return true
+		}
+		stats.MaskedSearches++
+		_, within := search.DistanceWithinMasked(h, e.U, e.V, limit, dead)
+		return within
+	}
 	// F = {} must also be covered.
-	if _, within := search.DistanceWithinMasked(h, e.U, e.V, limit, nil); !within {
+	if !probe(nil) {
 		return false
 	}
 	for a := 0; a < n; a++ {
@@ -85,7 +142,7 @@ func ftCovered(search *graph.Searcher, h *graph.Graph, e graph.Edge, t float64, 
 			continue
 		}
 		buf[0] = a
-		if _, within := search.DistanceWithinMasked(h, e.U, e.V, limit, buf[:1]); !within {
+		if !probe(buf[:1]) {
 			return false
 		}
 		if f < 2 {
@@ -96,7 +153,7 @@ func ftCovered(search *graph.Searcher, h *graph.Graph, e graph.Edge, t float64, 
 				continue
 			}
 			buf[1] = b
-			if _, within := search.DistanceWithinMasked(h, e.U, e.V, limit, buf[:2]); !within {
+			if !probe(buf[:2]) {
 				return false
 			}
 		}

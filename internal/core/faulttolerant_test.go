@@ -133,10 +133,11 @@ func TestFaultTolerantNoGraphCopies(t *testing.T) {
 	h := res.Graph()
 	search := graph.NewSearcher(h.N())
 	e := res.Edges[len(res.Edges)-1]
+	var stats FaultTolerantStats
 	// Warm-up materializes the searcher's lazily allocated mask buffer.
-	ftCovered(search, h, e, 1.6, 2)
+	ftCovered(search, h, nil, e, 1.6, 2, &stats)
 	if allocs := testing.AllocsPerRun(10, func() {
-		ftCovered(search, h, e, 1.6, 2)
+		ftCovered(search, h, nil, e, 1.6, 2, &stats)
 	}); allocs != 0 {
 		t.Fatalf("ftCovered allocated %.1f objects per full fault-set sweep, want 0", allocs)
 	}

@@ -40,6 +40,18 @@ import (
 // dropped and rebuilt on demand. Inserted points pad surviving rows with
 // +Inf entries, the "unknown" the cache starts from.
 //
+// # Batching and deferral
+//
+// By default every insertion batch replays immediately, keeping Result
+// always current. SetPolicy installs a coalescing policy instead:
+// insertions are validated and tallied eagerly (the cut and the weight
+// histogram are maintained per call) but the replay is deferred until a
+// query (Result) arrives or the pending insertions reach a minimum batch
+// width — so interleaved insert/query workloads amortize one replay over
+// a whole run of insertions, paying the disturbed-tail cost once instead
+// of per call. The flushed result is bit-identical to replaying each
+// batch eagerly, because both equal the from-scratch build on the union.
+//
 // An IncrementalSpanner is not safe for concurrent use.
 type IncrementalSpanner struct {
 	t float64
@@ -62,8 +74,54 @@ type IncrementalSpanner struct {
 	// and the disturbed tail.
 	counts pairCounts
 
+	// oracle is the maintained hub-label fast path (nil when the engine
+	// options disable hubs); it is rebased across insertions exactly as
+	// the bound rows are.
+	oracle *HubOracle
+
+	policy IncrementalPolicy
+	// Deferred-replay state: the latest pending union (metric mode), the
+	// earliest scan position any pending candidate occupies, and the
+	// number of pending inserted elements. pendingCut == nil means no
+	// replay is owed.
+	pendingM        metric.Metric
+	pendingCut      *graph.Edge
+	pendingInserted int
+
 	res *Result
 }
+
+// IncrementalPolicy controls when an IncrementalSpanner replays pending
+// insertions; the zero value replays on every Insert/InsertEdges call.
+type IncrementalPolicy struct {
+	// CoalesceUntilQuery defers the replay until Result or Flush is
+	// called, however many insertion calls arrive in between.
+	CoalesceUntilQuery bool
+	// MinBatch defers the replay until at least MinBatch elements
+	// (points or edges) are pending; a query still flushes earlier. It
+	// acts as a flush trigger even when CoalesceUntilQuery is set.
+	MinBatch int
+}
+
+// coalescing reports whether the policy defers replays at all.
+func (p IncrementalPolicy) coalescing() bool {
+	return p.CoalesceUntilQuery || p.MinBatch > 1
+}
+
+// SetPolicy installs the batching policy for subsequent insertions. Any
+// already-pending insertions are flushed first if the new policy would
+// have replayed them (it is eager, or its MinBatch trigger is already
+// met).
+func (s *IncrementalSpanner) SetPolicy(p IncrementalPolicy) {
+	s.policy = p
+	if !p.coalescing() || (p.MinBatch > 0 && s.pendingInserted >= p.MinBatch) {
+		s.Flush()
+	}
+}
+
+// Pending reports how many inserted elements await replay under a
+// coalescing policy.
+func (s *IncrementalSpanner) Pending() int { return s.pendingInserted }
 
 // errSupplyOption rejects supply overrides: a maintained spanner must own
 // its candidate supply, because insertions resume the stream mid-scan.
@@ -94,12 +152,21 @@ func NewIncrementalMetric(m metric.Metric, t float64, opts MetricParallelOptions
 			s.counts.add(m.Dist(i, j))
 		}
 	}
+	h := graph.New(n)
+	if opts.Hubs > 0 && n > 0 {
+		// Hubs are selected once, on the initial points, and their
+		// arrays carry the same growth slack as the bound rows. The
+		// oracle exists even when the initial set is too small to scan,
+		// so insertions that grow the spanner still get the fast path.
+		s.oracle = NewHubOracle(SelectMetricHubs(m, opts.Hubs), h, boundRowSlack(n))
+	}
 	if n > 1 {
 		sc := &metricScan{
 			t:       t,
 			workers: opts.Workers,
-			h:       graph.New(n),
+			h:       h,
 			bound:   s.bound,
+			oracle:  s.oracle,
 			res:     s.res,
 			stats:   s.scanStats(),
 		}
@@ -126,10 +193,15 @@ func NewIncrementalGraph(g *graph.Graph, t float64, opts ParallelOptions) (*Incr
 	for _, e := range s.g.Edges() {
 		s.counts.add(e.W)
 	}
+	h := graph.New(g.N())
+	if opts.Hubs > 0 {
+		s.oracle = NewHubOracle(SelectGraphHubs(s.g, opts.Hubs), h, 0)
+	}
 	sc := &graphScan{
 		t:       t,
 		workers: opts.Workers,
-		h:       graph.New(g.N()),
+		h:       h,
+		oracle:  s.oracle,
 		res:     s.res,
 		stats:   s.graphScanStats(),
 	}
@@ -158,17 +230,88 @@ func (s *IncrementalSpanner) graphScanStats() *ParallelStats {
 	return st
 }
 
-// Result returns the maintained spanner. The returned value is a snapshot:
-// later insertions build a fresh Result rather than mutating it, so it
-// stays valid (and must not be modified) after further Insert calls.
-func (s *IncrementalSpanner) Result() *Result { return s.res }
+// Result returns the maintained spanner, flushing any insertions a
+// coalescing policy deferred. The returned value is a snapshot: later
+// insertions build a fresh Result rather than mutating it, so it stays
+// valid (and must not be modified) after further Insert calls.
+func (s *IncrementalSpanner) Result() *Result {
+	s.Flush()
+	return s.res
+}
+
+// Flush replays any pending insertions now. It is a no-op when nothing is
+// pending (in particular under the default replay-every-batch policy).
+func (s *IncrementalSpanner) Flush() {
+	if s.pendingCut == nil {
+		return
+	}
+	cut := *s.pendingCut
+	var n int
+	if s.m != nil {
+		n = s.pendingM.N()
+	} else {
+		n = s.g.N()
+	}
+	keep := s.prefixLen(cut)
+	res := s.restart(keep, n)
+	h := res.Graph()
+	if s.oracle != nil {
+		slack := 0
+		if s.m != nil {
+			slack = boundRowSlack(n)
+		}
+		s.oracle.Rebase(keep, n, s.res.Edges, h, slack)
+	}
+	if s.m != nil {
+		s.bound.rebase(keep, n)
+		sc := &metricScan{
+			t:       s.t,
+			workers: s.mopts.Workers,
+			h:       h,
+			bound:   s.bound,
+			oracle:  s.oracle,
+			res:     res,
+			stats:   s.scanStats(),
+		}
+		sc.run(newMetricSourceAfter(s.pendingM, s.mopts.BucketPairs, cut, s.counts), s.mopts.BatchSize)
+		s.m, s.pendingM = s.pendingM, nil
+	} else {
+		sc := &graphScan{
+			t:       s.t,
+			workers: s.gopts.Workers,
+			h:       h,
+			oracle:  s.oracle,
+			res:     res,
+			stats:   s.graphScanStats(),
+		}
+		sc.run(newGraphEdgeSourceAfter(s.g, s.gopts.BucketPairs, cut, s.counts), s.gopts.BatchSize)
+	}
+	s.res = res
+	s.pendingCut = nil
+	s.pendingInserted = 0
+}
+
+// noteInserted folds one insertion batch's earliest scan position and
+// element count into the pending state and replays unless the policy
+// defers it.
+func (s *IncrementalSpanner) noteInserted(cut graph.Edge, inserted int) {
+	if s.pendingCut == nil || graph.EdgeLess(cut, *s.pendingCut) {
+		c := cut
+		s.pendingCut = &c
+	}
+	s.pendingInserted += inserted
+	if !s.policy.coalescing() || (s.policy.MinBatch > 0 && s.pendingInserted >= s.policy.MinBatch) {
+		s.Flush()
+	}
+}
 
 // Insert grows a metric-mode spanner with the points union appends to the
 // current metric. union must extend the current metric: its first N()
 // points are the current points with identical pairwise distances, and any
-// points beyond them are the insertions. After Insert returns, the
-// maintained result is bit-identical to a from-scratch greedy build on
-// union.
+// points beyond them are the insertions. After the insertion is replayed —
+// immediately by default, at the next Result/Flush or MinBatch trigger
+// under a coalescing policy — the maintained result is bit-identical to a
+// from-scratch greedy build on union.
 //
 // Cost scales with the tail of the greedy scan the insertions disturb: the
 // candidate stream is resumed at the first scan position any new pair
@@ -178,12 +321,20 @@ func (s *IncrementalSpanner) Insert(union metric.Metric) error {
 	if s.m == nil {
 		return fmt.Errorf("core: Insert on a graph-mode incremental spanner (use InsertEdges)")
 	}
-	nOld, n := s.m.N(), union.N()
+	frontier := s.m
+	if s.pendingM != nil {
+		frontier = s.pendingM
+	}
+	nOld, n := frontier.N(), union.N()
 	if n < nOld {
 		return fmt.Errorf("core: union has %d points, fewer than the current %d", n, nOld)
 	}
 	if n == nOld {
-		s.m = union
+		if s.pendingM != nil {
+			s.pendingM = union
+		} else {
+			s.m = union
+		}
 		return nil
 	}
 	// One pass over the O(k*n) new pairs finds the cut — the earliest
@@ -201,28 +352,17 @@ func (s *IncrementalSpanner) Insert(union metric.Metric) error {
 			}
 		}
 	}
-	keep := s.prefixLen(cut)
-	res := s.restart(keep, n)
-	s.bound.rebase(keep, n)
-	sc := &metricScan{
-		t:       s.t,
-		workers: s.mopts.Workers,
-		h:       res.Graph(),
-		bound:   s.bound,
-		res:     res,
-		stats:   s.scanStats(),
-	}
-	sc.run(newMetricSourceAfter(union, s.mopts.BucketPairs, cut, s.counts), s.mopts.BatchSize)
-	s.m = union
-	s.res = res
+	s.pendingM = union
+	s.noteInserted(cut, n-nOld)
 	return nil
 }
 
 // InsertEdges grows a graph-mode spanner with the given edges (validated
-// like Graph.AddEdge; on a validation error no state changes). After it
-// returns, the maintained result is bit-identical to a from-scratch greedy
-// build on the grown graph. Cost scales with the tail of the greedy scan
-// the insertions disturb, exactly as in Insert.
+// like Graph.AddEdge; on a validation error no state changes). After the
+// insertion is replayed (immediately by default; see IncrementalPolicy),
+// the maintained result is bit-identical to a from-scratch greedy build
+// on the grown graph. Cost scales with the tail of the greedy scan the
+// insertions disturb, exactly as in Insert.
 func (s *IncrementalSpanner) InsertEdges(edges ...graph.Edge) error {
 	if s.g == nil {
 		return fmt.Errorf("core: InsertEdges on a metric-mode incremental spanner (use Insert)")
@@ -246,17 +386,7 @@ func (s *IncrementalSpanner) InsertEdges(edges ...graph.Edge) error {
 		s.g.MustAddEdge(e.U, e.V, e.W)
 		s.counts.add(e.W)
 	}
-	keep := s.prefixLen(cut)
-	res := s.restart(keep, n)
-	sc := &graphScan{
-		t:       s.t,
-		workers: s.gopts.Workers,
-		h:       res.Graph(),
-		res:     res,
-		stats:   s.graphScanStats(),
-	}
-	sc.run(newGraphEdgeSourceAfter(s.g, s.gopts.BucketPairs, cut, s.counts), s.gopts.BatchSize)
-	s.res = res
+	s.noteInserted(cut, len(edges))
 	return nil
 }
 

@@ -37,14 +37,27 @@ type MetricParallelOptions struct {
 	// up on very large instances). Ignored when Source is set or
 	// Materialize is true.
 	BucketPairs int
+	// Hubs enables the hub-label certification fast path: k hub vertices
+	// are selected by ball-growth sampling and their exact distance
+	// arrays over the growing spanner are maintained incrementally
+	// (HubOracle). Each certification query is answered first by the
+	// O(k) hub upper bound; a hub-certified skip is exact-equivalent, so
+	// output stays bit-identical for every k. With hubs on, row
+	// refreshes are additionally bounded to a multiple of the query
+	// radius (hubRefreshRadiusFactor) — sound because partially covered
+	// rows are still upper bounds, and cheap because the hub labels
+	// absorb the long-range certifications bounded rows no longer cache.
+	// <= 0 disables the oracle and reproduces the pre-hub engine's
+	// behavior (and exact Dijkstra schedule) verbatim.
+	Hubs int
 	// Stats, when non-nil, is filled with engine counters for ablations
 	// and benchmarks.
 	Stats *MetricParallelStats
 }
 
 // MetricParallelStats reports how the batched metric engine spent its
-// effort. CachedSkips + CertifiedSkips + SerialSkips + Kept equals the
-// number of pairs examined (n(n-1)/2).
+// effort. CachedSkips + HubSkips + CertifiedSkips + SerialSkips + Kept
+// equals the number of pairs examined (n(n-1)/2).
 type MetricParallelStats struct {
 	// Batches is the number of certification rounds.
 	Batches int
@@ -65,6 +78,11 @@ type MetricParallelStats struct {
 	// SerialRefreshes counts rows recomputed by the ordered re-check
 	// against the live spanner.
 	SerialRefreshes int
+	// RefreshTouched is the total number of vertices all row refreshes
+	// reached — the engine's exact-Dijkstra work volume. Full-row
+	// refreshes touch ~n vertices each; the bounded refreshes of the
+	// hub-label fast path touch only the query ball.
+	RefreshTouched int
 	// RowsAllocated counts distinct bound rows the sparse store
 	// materialized; n minus RowsAllocated rows were never refreshed and
 	// cost no memory at all.
@@ -72,8 +90,20 @@ type MetricParallelStats struct {
 	// PeakBucketPairs is the largest candidate bucket the streamed supply
 	// held materialized at once (0 for materialized or custom supplies).
 	PeakBucketPairs int
+	// SupplyPasses counts the streamed supply's enumeration passes
+	// (counting, subdivision, collection; 0 for materialized or custom
+	// supplies).
+	SupplyPasses int
 	// FinalBatchSize is the adaptive batch width at the end of the scan.
 	FinalBatchSize int
+	// HubQueries / HubSkips count certification queries that reached the
+	// hub oracle (past the row cache) and the skips it certified without
+	// any Dijkstra. HubRelaxed is the total number of hub-array entries
+	// the dirty-radius maintenance re-relaxed — the whole upkeep cost of
+	// the oracle, in vertices.
+	HubQueries int
+	HubSkips   int
+	HubRelaxed int
 }
 
 // boundStore is the sparse replacement for the dense n x n float64 bound
@@ -324,13 +354,17 @@ func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParalle
 			src = NewMetricSource(m, opts.BucketPairs)
 		}
 	}
+	h := graph.New(n)
 	sc := &metricScan{
 		t:       t,
 		workers: opts.Workers,
-		h:       graph.New(n),
+		h:       h,
 		bound:   newBoundStore(n),
 		res:     res,
 		stats:   stats,
+	}
+	if opts.Hubs > 0 {
+		sc.oracle = NewHubOracle(SelectMetricHubs(m, opts.Hubs), h, 0)
 	}
 	sc.run(src, opts.BatchSize)
 	return res, nil
@@ -346,9 +380,23 @@ type metricScan struct {
 	workers int // <= 0 selects GOMAXPROCS
 	h       *graph.Graph
 	bound   *boundStore
-	res     *Result
-	stats   *MetricParallelStats
+	// oracle, when non-nil, is the hub-label certification fast path; it
+	// is consulted only from the scan's serial sections, bounds the row
+	// refreshes to hubRefreshRadiusFactor times the query radius, and
+	// pre-seeds the bound rows it certifies through.
+	oracle *HubOracle
+	res    *Result
+	stats  *MetricParallelStats
 }
+
+// hubRefreshRadiusFactor scales the bounded row refreshes of a hub-enabled
+// metric scan: a pair decision only needs distances within t*w, and a
+// radius a factor above that keeps the row useful for the following pairs
+// of similar scale while staying far cheaper than a full-graph Dijkstra.
+// Partially covered rows are sound (uncovered entries stay +Inf, a valid
+// upper bound); the hub labels absorb the long-range certifications the
+// bounded rows no longer cache.
+const hubRefreshRadiusFactor = 2
 
 // run drains src through the batched-certification scan, appending every
 // accept to the scan's result; batchSize <= 0 selects adaptive batching.
@@ -356,7 +404,7 @@ type metricScan struct {
 // suppressed are folded into EdgesExamined, so a resumed scan accounts
 // for exactly the candidates a full scan examines.
 func (sc *metricScan) run(src CandidateSource, batchSize int) {
-	t, h, bound, res, stats := sc.t, sc.h, sc.bound, sc.res, sc.stats
+	t, h, bound, oracle, res, stats := sc.t, sc.h, sc.bound, sc.oracle, sc.res, sc.stats
 	workers := sc.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -364,28 +412,62 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 	n := h.N()
 	serial := graph.NewSearcher(n)
 	row := make([]float64, n)
+	relaxed0 := 0
+	if oracle != nil {
+		relaxed0 = oracle.Relaxed()
+	}
 
 	// refreshExact recomputes row u against the live spanner, folds it
 	// into the bound store, and returns the exact distance to v — the
-	// value the serial reference's decision uses.
-	refreshExact := func(u, v int) float64 {
-		serial.Distances(h, u, row)
+	// value the serial reference's decision uses. With hubs the search is
+	// bounded: every settled distance is exact, unreached entries stay
+	// +Inf, and the decision only needs to know the distance up to limit,
+	// so the returned value decides the pair exactly either way.
+	refreshExact := func(u, v int, limit float64) float64 {
+		if oracle != nil {
+			serial.BoundedDistances(h, u, hubRefreshRadiusFactor*limit, row)
+		} else {
+			serial.Distances(h, u, row)
+		}
 		bound.foldRow(u, row, len(res.Edges))
 		stats.SerialRefreshes++
+		stats.RefreshTouched += serial.LastTouched()
 		return row[v]
+	}
+	// hubCertify answers one certification query from the hub labels and
+	// pre-seeds the pair's bound row with the certified bound (stamped
+	// with the epoch it was proven at), so the cache layer and the oracle
+	// compound: the next pair out of u at this scale certifies from the
+	// row without even the O(k) hub scan.
+	hubCertify := func(u, v int, limit float64) bool {
+		stats.HubQueries++
+		b, ok := oracle.Certify(u, v, limit)
+		if !ok {
+			return false
+		}
+		stats.HubSkips++
+		bound.set(u, v, b, oracle.Epoch())
+		return true
 	}
 	accept := func(e graph.Edge) {
 		h.MustAddEdge(e.U, e.V, e.W)
 		res.Edges = append(res.Edges, e)
 		res.Weight += e.W
 		bound.set(e.U, e.V, e.W, len(res.Edges))
+		if oracle != nil {
+			oracle.OnAccept(e)
+		}
 		stats.Kept++
 	}
 	finish := func() {
 		stats.RowsAllocated = bound.countRows()
 		if bs, ok := src.(*bucketedSource); ok {
 			stats.PeakBucketPairs = bs.PeakBucket()
+			stats.SupplyPasses = bs.Passes()
 			res.EdgesExamined += bs.Skipped()
+		}
+		if oracle != nil {
+			stats.HubRelaxed = oracle.Relaxed() - relaxed0
 		}
 	}
 
@@ -408,7 +490,10 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 					stats.CachedSkips++
 					continue
 				}
-				if refreshExact(e.U, e.V) <= limit {
+				if oracle != nil && hubCertify(e.U, e.V, limit) {
+					continue
+				}
+				if refreshExact(e.U, e.V, limit) <= limit {
 					stats.SerialSkips++
 					continue
 				}
@@ -422,6 +507,7 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 
 	pool := make([]*graph.Searcher, workers)
 	rows := make([][]float64, workers)
+	touchedBy := make([]int, workers)
 	for i := range pool {
 		pool[i] = graph.NewSearcher(n)
 		rows[i] = make([]float64, n)
@@ -436,6 +522,9 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 		// source is sources[k]; inBatch/srcAt stamp membership per round.
 		sources  []int
 		srcPairs [][]int32
+		// srcLimit[k] is the largest query limit among sources[k]'s batch
+		// pairs; with hubs the row refresh is bounded to a factor of it.
+		srcLimit []float64
 	)
 	inBatch := make([]int, n)
 	for i := range inBatch {
@@ -462,12 +551,18 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 			exact = make([]float64, len(pairs))
 		}
 
-		// Serial pre-pass: certify what the cache already covers and
-		// collect the rows the rest of the batch wants refreshed.
+		// Serial pre-pass: certify what the cache (and then the hub
+		// labels) already cover and collect the rows the rest of the
+		// batch wants refreshed.
 		sources = sources[:0]
 		for i, e := range pairs {
-			if cached[i] = bound.get(e.U, e.V) <= t*e.W; cached[i] {
+			limit := t * e.W
+			if cached[i] = bound.get(e.U, e.V) <= limit; cached[i] {
 				stats.CachedSkips++
+				continue
+			}
+			if oracle != nil && hubCertify(e.U, e.V, limit) {
+				cached[i] = true
 				continue
 			}
 			if inBatch[e.U] != round {
@@ -476,11 +571,16 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 				sources = append(sources, e.U)
 				if len(srcPairs) < len(sources) {
 					srcPairs = append(srcPairs, nil)
+					srcLimit = append(srcLimit, 0)
 				}
 				srcPairs[len(sources)-1] = srcPairs[len(sources)-1][:0]
+				srcLimit[len(sources)-1] = 0
 			}
 			k := srcAt[e.U]
 			srcPairs[k] = append(srcPairs[k], int32(i))
+			if limit > srcLimit[k] {
+				srcLimit[k] = limit
+			}
 		}
 
 		// Phase 1: refresh the collected rows in parallel against the
@@ -500,20 +600,33 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 				end = len(sources)
 			}
 			wg.Add(1)
-			go func(search *graph.Searcher, scratch []float64, start, end int) {
+			go func(w int, search *graph.Searcher, scratch []float64, start, end int) {
 				defer wg.Done()
 				for k := start; k < end; k++ {
 					u := sources[k]
-					search.Distances(h, u, scratch)
+					if oracle != nil {
+						// Bounded refresh: the radius covers every one of
+						// this row's batch pairs, so each recorded exact[i]
+						// decides its pair — settled entries are exact and
+						// +Inf certifies "beyond limit" (see refreshExact).
+						search.BoundedDistances(h, u, hubRefreshRadiusFactor*srcLimit[k], scratch)
+					} else {
+						search.Distances(h, u, scratch)
+					}
 					bound.foldRow(u, scratch, snapEdges)
+					touchedBy[w] += search.LastTouched()
 					for _, i := range srcPairs[k] {
 						exact[i] = scratch[pairs[i].V]
 					}
 				}
-			}(pool[w], rows[w], start, end)
+			}(w, pool[w], rows[w], start, end)
 		}
 		wg.Wait()
 		stats.ParallelRefreshes += len(sources)
+		for w := range touchedBy {
+			stats.RefreshTouched += touchedBy[w]
+			touchedBy[w] = 0
+		}
 
 		// Phase 2: replay the uncertified survivors serially in greedy
 		// order. Until this batch's first accept the live spanner equals
@@ -535,7 +648,7 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 			survivors++
 			d := exact[i]
 			if acceptedInBatch {
-				d = refreshExact(e.U, e.V)
+				d = refreshExact(e.U, e.V, limit)
 			}
 			if d <= limit {
 				stats.SerialSkips++

@@ -161,6 +161,20 @@ type bucketedSource struct {
 	alloc int
 	// peak tracks the largest materialized bucket, for benchmarks.
 	peak int
+	// prefetchIv/prefetchOK mark that the bucket buffer already holds the
+	// pairs of interval prefetchIv, collected for free during a split's
+	// counting pass (the pass visits every pair of the parent anyway, and
+	// the buffer's previous bucket is exhausted by the time refill
+	// splits); refill then serves that child without re-enumerating it.
+	// Collection is abandoned the moment the child exceeds cap, so the
+	// buffer never outgrows its usual bound.
+	prefetchIv   interval
+	prefetchOK   bool
+	prefetchHits int
+	// passes counts pairEnumerator.Pairs calls (counting, subdivision,
+	// and collection), the supply's dominant repeated cost on brute-force
+	// enumerators; benchmarks record it to track pass-merging wins.
+	passes int
 }
 
 // newBucketedSource wraps enum with bucket-size cap bucketPairs. With
@@ -295,6 +309,7 @@ func (s *bucketedSource) open() {
 	counts := s.seed
 	if counts == nil {
 		counts = &pairCounts{}
+		s.passes++
 		s.enum.Pairs(0, math.Inf(1), func(u, v int, w float64) {
 			counts.add(w)
 		})
@@ -346,6 +361,27 @@ func (s *bucketedSource) open() {
 		}
 		s.queue = kept
 	}
+	// Merge runs of adjacent small buckets into one collection pass: the
+	// geometric buckets partition the weight axis in scan order, so a
+	// merged range [lo_a, hi_b) enumerates, sorts, and emits exactly the
+	// concatenation the individual buckets would — one pass instead of
+	// several — and the cap keeps the peak bucket bound intact. The
+	// dedicated infinite-weight bucket stays unmerged (refill's
+	// finite-only filter depends on its identity).
+	merged := s.queue[:0]
+	for _, iv := range s.queue {
+		if n := len(merged); n > 0 {
+			prev := &merged[n-1]
+			if !math.IsInf(iv.lo, 1) && prev.count+iv.count <= s.cap {
+				prev.hi = iv.hi
+				prev.count += iv.count
+				prev.noSplit = false
+				continue
+			}
+		}
+		merged = append(merged, iv)
+	}
+	s.queue = merged
 	for _, iv := range s.queue {
 		if iv.count > s.alloc {
 			s.alloc = iv.count
@@ -368,6 +404,9 @@ func (s *bucketedSource) refill() bool {
 		if s.cut != nil && !math.IsInf(iv.lo, 1) && iv.hi <= s.cut.W {
 			// A subdivision child that fell wholly below the cut: skip it
 			// by count, like the whole buckets dropped at open time.
+			if s.prefetchOK && iv.lo == s.prefetchIv.lo && iv.hi == s.prefetchIv.hi {
+				s.prefetchOK = false
+			}
 			s.skipped += iv.count
 			continue
 		}
@@ -379,30 +418,38 @@ func (s *bucketedSource) refill() bool {
 			// Unsplittable (weights too close); fall through and
 			// materialize whole.
 		}
-		if cap(s.bucket) < iv.count {
-			// Allocate at the open-time target so later (larger) buckets
-			// reuse the same backing array instead of leaving a trail of
-			// garbage; only unsplittable tie spikes can exceed it.
-			want := s.alloc
-			if iv.count > want {
-				want = iv.count
+		if s.prefetchOK && iv.lo == s.prefetchIv.lo && iv.hi == s.prefetchIv.hi {
+			// The split's counting pass already left this child's pairs in
+			// the bucket buffer; skip the enumeration pass.
+			s.prefetchOK = false
+			s.prefetchHits++
+		} else {
+			if cap(s.bucket) < iv.count {
+				// Allocate at the open-time target so later (larger) buckets
+				// reuse the same backing array instead of leaving a trail of
+				// garbage; only unsplittable tie spikes can exceed it.
+				want := s.alloc
+				if iv.count > want {
+					want = iv.count
+				}
+				s.bucket = make([]graph.Edge, 0, want)
 			}
-			s.bucket = make([]graph.Edge, 0, want)
+			s.bucket = s.bucket[:0]
+			// The top finite bucket's hi overflows Ldexp to +Inf (weights in
+			// [2^1023, MaxFloat64]), and WeightInRange admits w == +Inf at an
+			// infinite hi — but infinite weights belong exclusively to the
+			// dedicated last interval (lo == +Inf), where the counting pass
+			// tallied them. Filter them out of finite-lo collections so no
+			// candidate is ever emitted twice.
+			finiteOnly := !math.IsInf(iv.lo, 1) && math.IsInf(iv.hi, 1)
+			s.passes++
+			s.enum.Pairs(iv.lo, iv.hi, func(u, v int, w float64) {
+				if finiteOnly && math.IsInf(w, 1) {
+					return
+				}
+				s.bucket = append(s.bucket, graph.Edge{U: u, V: v, W: w})
+			})
 		}
-		s.bucket = s.bucket[:0]
-		// The top finite bucket's hi overflows Ldexp to +Inf (weights in
-		// [2^1023, MaxFloat64]), and WeightInRange admits w == +Inf at an
-		// infinite hi — but infinite weights belong exclusively to the
-		// dedicated last interval (lo == +Inf), where the counting pass
-		// tallied them. Filter them out of finite-lo collections so no
-		// candidate is ever emitted twice.
-		finiteOnly := !math.IsInf(iv.lo, 1) && math.IsInf(iv.hi, 1)
-		s.enum.Pairs(iv.lo, iv.hi, func(u, v int, w float64) {
-			if finiteOnly && math.IsInf(w, 1) {
-				return
-			}
-			s.bucket = append(s.bucket, graph.Edge{U: u, V: v, W: w})
-		})
 		if len(s.bucket) == 0 {
 			continue
 		}
@@ -459,6 +506,19 @@ func (s *bucketedSource) split(iv interval) []interval {
 		}
 	}
 	counts := make([]int, k)
+	// Collect the first sub-range's pairs while counting: the pass visits
+	// every pair of the parent anyway, and the first child is the next
+	// range refill materializes, so a complete collection (abandoned the
+	// moment the child exceeds cap, keeping the memory bound) saves that
+	// child's whole enumeration pass. The bucket buffer is free for this —
+	// refill only splits once the previous bucket is exhausted.
+	collecting := true
+	s.prefetchOK = false
+	if cap(s.bucket) < s.alloc {
+		s.bucket = make([]graph.Edge, 0, s.alloc)
+	}
+	s.bucket = s.bucket[:0]
+	s.passes++
 	s.enum.Pairs(iv.lo, iv.hi, func(u, v int, w float64) {
 		// Locate the sub-range with lo <= w < hi; ranges partition
 		// [iv.lo, iv.hi) so linear probing from the top is exact.
@@ -467,6 +527,14 @@ func (s *bucketedSource) split(iv interval) []interval {
 			j--
 		}
 		counts[j]++
+		if j == 0 && collecting {
+			if counts[0] > s.cap {
+				collecting = false
+				s.bucket = s.bucket[:0]
+			} else {
+				s.bucket = append(s.bucket, graph.Edge{U: u, V: v, W: w})
+			}
+		}
 	})
 	sub := make([]interval, 0, k)
 	for j := 0; j < k; j++ {
@@ -474,6 +542,10 @@ func (s *bucketedSource) split(iv interval) []interval {
 			continue
 		}
 		sub = append(sub, interval{lo: bounds[j], hi: bounds[j+1], count: counts[j]})
+	}
+	if collecting && counts[0] > 0 {
+		s.prefetchIv = interval{lo: bounds[0], hi: bounds[1], count: counts[0]}
+		s.prefetchOK = true
 	}
 	return sub
 }
@@ -510,3 +582,8 @@ func (s *bucketedSource) PeakBucket() int { return s.peak }
 // EdgesExamined so a resumed scan accounts for exactly the candidates a
 // full scan examines.
 func (s *bucketedSource) Skipped() int { return s.skipped }
+
+// Passes reports how many enumeration passes (counting, subdivision, and
+// collection) the source has issued — the repeated-pass cost the merged
+// buckets and the subdivision prefetch eliminate; benchmarks record it.
+func (s *bucketedSource) Passes() int { return s.passes }

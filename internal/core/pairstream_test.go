@@ -317,3 +317,73 @@ func TestMetricSourceDegenerateInputs(t *testing.T) {
 		t.Fatalf("zero-weight pair not first: %+v", got[0])
 	}
 }
+
+// TestMergedBucketsReducePasses pins the pass-merging optimization: a
+// candidate set spread over many small geometric weight buckets must be
+// collected in far fewer enumeration passes than buckets (adjacent small
+// buckets merge into one collection range up to the pair cap), with the
+// emitted sequence unchanged.
+func TestMergedBucketsReducePasses(t *testing.T) {
+	// 40 points on an exponential line: pair distances span ~40 binary
+	// exponents, one tiny bucket each.
+	n := 40
+	pts := make([][]float64, n)
+	x := 0.0
+	for i := range pts {
+		pts[i] = []float64{x, 0}
+		x += math.Ldexp(1, i/2-10)
+	}
+	m := metric.MustEuclidean(pts)
+	want := sortedPairs(m)
+	src := newBucketedSource(metricEnumeratorFor(m), 0)
+	got := drainSource(src, []int{64})
+	equalEdgeSeq(t, "exponential-line", want, got)
+	// One counting pass plus one merged collection pass for the whole set
+	// (everything fits one cap-sized range); without merging this would be
+	// one pass per occupied exponent (~tens).
+	if src.Passes() > 4 {
+		t.Fatalf("merged supply used %d passes, want <= 4", src.Passes())
+	}
+}
+
+// TestSplitPrefetchReusesCountingPass pins the subdivision prefetch: when
+// an oversized bucket splits, the first child must be served from the
+// split's own counting pass (no extra enumeration), and the sequence must
+// stay exact.
+func TestSplitPrefetchReusesCountingPass(t *testing.T) {
+	for name, m := range testMetrics(t) {
+		want := sortedPairs(m)
+		// A tiny cap forces splits on every real bucket.
+		src := newBucketedSource(metricEnumeratorFor(m), 13)
+		got := drainSource(src, []int{5, 17})
+		equalEdgeSeq(t, name, want, got)
+	}
+	// Pass accounting on a single-bucket instance: weights all in [1, 2),
+	// cap 10, n*(n-1)/2 = 120 pairs -> the bucket splits into ~12 children;
+	// the prefetch must save at least the first child's collection pass
+	// relative to the no-prefetch floor of 1 count + 1 split-count per
+	// round + 1 collection per child.
+	n := 16
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	w := 1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d[i][j], d[j][i] = w, w
+			w += 1.0 / 256
+		}
+	}
+	m := tableMetric{d: d}
+	want := sortedPairs(m)
+	src := newBucketedSource(metricEnumeratorFor(m), 10)
+	got := drainSource(src, []int{3})
+	equalEdgeSeq(t, "single-bucket", want, got)
+	if src.prefetchHits == 0 {
+		t.Fatalf("no split collection was served from a prefetch (%d passes total)", src.Passes())
+	}
+	// Every prefetch hit is one whole enumeration pass the supply did not
+	// run; the counters must be consistent with that.
+	t.Logf("passes %d, prefetch hits %d", src.Passes(), src.prefetchHits)
+}

@@ -34,6 +34,15 @@ type ParallelOptions struct {
 	// up on very large instances). Ignored when Source is set or
 	// Materialize is true.
 	BucketPairs int
+	// Hubs enables the hub-label certification fast path: k hub vertices
+	// are selected by the degree heuristic and their exact distance
+	// arrays over the growing spanner are maintained incrementally
+	// (HubOracle). Each candidate edge is first tested against the O(k)
+	// hub upper bound, and only uncertified edges pay a bidirectional
+	// search. Hub-certified skips are exact-equivalent, so output stays
+	// bit-identical for every k; <= 0 disables the oracle and reproduces
+	// the pre-hub engine verbatim.
+	Hubs int
 	// Stats, when non-nil, is filled with engine counters for ablations
 	// and benchmarks.
 	Stats *ParallelStats
@@ -54,8 +63,19 @@ type ParallelStats struct {
 	// PeakBucketPairs is the largest candidate bucket the streamed supply
 	// held materialized at once (0 for materialized or custom supplies).
 	PeakBucketPairs int
+	// SupplyPasses counts the streamed supply's enumeration passes
+	// (counting, subdivision, collection; 0 for materialized or custom
+	// supplies).
+	SupplyPasses int
 	// FinalBatchSize is the adaptive batch width at the end of the scan.
 	FinalBatchSize int
+	// HubQueries / HubSkips count certification queries put to the hub
+	// oracle and the skips it certified without any search. HubRelaxed is
+	// the total number of hub-array entries the dirty-radius maintenance
+	// re-relaxed — the oracle's whole upkeep cost, in vertices.
+	HubQueries int
+	HubSkips   int
+	HubRelaxed int
 }
 
 // Batch-width bounds for the adaptive policy.
@@ -146,12 +166,16 @@ func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*
 	}
 	*stats = ParallelStats{}
 	res := &Result{N: n, Stretch: t}
+	h := graph.New(n)
 	sc := &graphScan{
 		t:       t,
 		workers: opts.Workers,
-		h:       graph.New(n),
+		h:       h,
 		res:     res,
 		stats:   stats,
+	}
+	if opts.Hubs > 0 {
+		sc.oracle = NewHubOracle(SelectGraphHubs(g, opts.Hubs), h, 0)
 	}
 	sc.run(src, opts.BatchSize)
 	return res, nil
@@ -165,8 +189,11 @@ type graphScan struct {
 	t       float64
 	workers int // <= 0 selects GOMAXPROCS
 	h       *graph.Graph
-	res     *Result
-	stats   *ParallelStats
+	// oracle, when non-nil, is the hub-label certification fast path,
+	// consulted only from the scan's serial sections.
+	oracle *HubOracle
+	res    *Result
+	stats  *ParallelStats
 }
 
 // run drains src through the batched-certification scan, appending every
@@ -174,24 +201,46 @@ type graphScan struct {
 // On return any candidates a cut-resumed source suppressed are folded
 // into EdgesExamined.
 func (sc *graphScan) run(src CandidateSource, batchSize int) {
-	t, h, res, stats := sc.t, sc.h, sc.res, sc.stats
+	t, h, oracle, res, stats := sc.t, sc.h, sc.oracle, sc.res, sc.stats
 	workers := sc.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := h.N()
 	serial := graph.NewSearcher(n)
+	relaxed0 := 0
+	if oracle != nil {
+		relaxed0 = oracle.Relaxed()
+	}
 
+	// hubCertify answers one certification query from the hub labels; a
+	// hit skips the edge without any search, exactly as the reference
+	// scan would (the hub bound dominates the spanner distance).
+	hubCertify := func(u, v int, limit float64) bool {
+		stats.HubQueries++
+		if _, ok := oracle.Certify(u, v, limit); ok {
+			stats.HubSkips++
+			return true
+		}
+		return false
+	}
 	accept := func(e graph.Edge) {
 		h.MustAddEdge(e.U, e.V, e.W)
 		res.Edges = append(res.Edges, e)
 		res.Weight += e.W
+		if oracle != nil {
+			oracle.OnAccept(e)
+		}
 		stats.Kept++
 	}
 	finish := func() {
 		if bs, ok := src.(*bucketedSource); ok {
 			stats.PeakBucketPairs = bs.PeakBucket()
+			stats.SupplyPasses = bs.Passes()
 			res.EdgesExamined += bs.Skipped()
+		}
+		if oracle != nil {
+			stats.HubRelaxed = oracle.Relaxed() - relaxed0
 		}
 	}
 
@@ -210,6 +259,9 @@ func (sc *graphScan) run(src CandidateSource, batchSize int) {
 			}
 			res.EdgesExamined += len(edges)
 			for _, e := range edges {
+				if oracle != nil && hubCertify(e.U, e.V, t*e.W) {
+					continue
+				}
 				if _, within := serial.BidirDistanceWithin(h, e.U, e.V, t*e.W); within {
 					stats.SerialSkips++
 					continue
@@ -226,7 +278,7 @@ func (sc *graphScan) run(src CandidateSource, batchSize int) {
 	for i := range pool {
 		pool[i] = graph.NewSearcher(n)
 	}
-	var certified []bool
+	var certified, hubbed []bool
 
 	batch := batchSize
 	adaptive := batch <= 0
@@ -243,11 +295,21 @@ func (sc *graphScan) run(src CandidateSource, batchSize int) {
 		stats.Batches++
 		if len(edges) > len(certified) {
 			certified = make([]bool, len(edges))
+			hubbed = make([]bool, len(edges))
+		}
+
+		// Serial pre-pass: certify what the hub labels already cover, so
+		// only the remaining edges pay a search in phase 1.
+		if oracle != nil {
+			for i, e := range edges {
+				hubbed[i] = hubCertify(e.U, e.V, t*e.W)
+			}
 		}
 
 		// Phase 1: certify skips in parallel against the frozen h. The
-		// workers only read h and write disjoint certified[i] slots, so
-		// the only synchronization needed is the join below.
+		// workers only read h (and the pre-pass's hubbed marks) and write
+		// disjoint certified[i] slots, so the only synchronization needed
+		// is the join below.
 		var wg sync.WaitGroup
 		span := len(edges)
 		chunk := (span + workers - 1) / workers
@@ -260,6 +322,9 @@ func (sc *graphScan) run(src CandidateSource, batchSize int) {
 			go func(search *graph.Searcher, start, end int) {
 				defer wg.Done()
 				for i := start; i < end; i++ {
+					if hubbed[i] {
+						continue
+					}
 					e := edges[i]
 					_, within := search.BidirDistanceWithin(h, e.U, e.V, t*e.W)
 					certified[i] = within
@@ -274,6 +339,9 @@ func (sc *graphScan) run(src CandidateSource, batchSize int) {
 		// path for it — exactly as the sequential scan would decide.
 		survivors := 0
 		for i, e := range edges {
+			if hubbed[i] {
+				continue // counted as a HubSkip in the pre-pass
+			}
 			if certified[i] {
 				stats.CertifiedSkips++
 				continue

@@ -8,14 +8,22 @@ import (
 )
 
 // GridEnumerator enumerates the point pairs of a Euclidean point set whose
-// distance falls in a weight range [lo, hi), using a uniform grid with
-// cell size just above hi: a pair at distance < hi differs by less than a
-// cell in every coordinate, so its two cells are identical or
-// axis-adjacent, and only the 3^d neighborhood of each occupied cell is
-// ever inspected. Producing
-// the pairs of one distance bucket therefore never touches pairs farther
-// than the bucket's upper edge — the enumeration cost scales with the
-// number of pairs at or below the bucket, not with n^2.
+// distance falls in a weight range [lo, hi), using a uniform grid: a pair
+// at distance < hi differs by less than R cells in every coordinate (R
+// determined by the cell size), so only cell pairs within the R-offset
+// neighborhood of each occupied cell are ever inspected. Producing the
+// pairs of one distance bucket therefore never touches pairs farther than
+// the bucket's upper edge — the enumeration cost scales with the number of
+// pairs near the bucket, not with n^2.
+//
+// In low dimension (d <= 3) the cell size additionally tracks the range's
+// width: a narrow annulus [lo, hi) gets cells of side ~hi-lo, and every
+// candidate cell pair is pre-filtered by conservative per-offset distance
+// bounds, so pairs well below lo — the bulk, when a wide weight bucket is
+// subdivided to the supply's pair cap — are skipped at whole-cell
+// granularity without a single distance evaluation. In higher dimension
+// the offset neighborhood grows like (2R+1)^d, so the enumerator falls
+// back to cells of side hi (R = 1), the classic 3^d scheme.
 //
 // Distances are reported by the caller-supplied dist function (typically
 // metric.Euclidean.Dist), so downstream consumers see weights
@@ -29,12 +37,25 @@ type GridEnumerator struct {
 	boxLo, boxSpan []float64
 	// Reused across Pairs calls so repeated bucket production does not
 	// leave a trail of per-call garbage: the packed cell coordinates, the
-	// cell hash, the per-cell member lists' backing, and the offset set.
+	// cell hash, the per-cell member lists' backing, and the offset sets
+	// (cached per offset radius R).
 	coords    []int64
 	cellOf    map[string]int32
 	cells     [][]int32
 	cellCoord [][]int64
-	offsets   [][]int64
+	offsets   map[int][]gridOffset
+	live      []gridOffset
+}
+
+// gridOffset is one candidate cell displacement together with the squared
+// separation bounds (in cell units) of any two points in cells at that
+// displacement: minUnits2 underestimates, maxUnits2 overestimates, each
+// with a full cell of slack per axis, which dwarfs the sub-cell rounding
+// of the coordinate-to-index computation.
+type gridOffset struct {
+	off       []int64
+	minUnits2 float64
+	maxUnits2 float64
 }
 
 // NewGridEnumerator builds a grid enumerator over pts (all sharing one
@@ -65,31 +86,50 @@ func NewGridEnumerator(pts [][]float64, dist func(i, j int) float64) *GridEnumer
 }
 
 // maxCellsPerDim guards the float64 cell-coordinate computation: the
-// quotient (c-boxLo)/hi carries relative error ~2^-52, so at q cells per
+// quotient (c-boxLo)/cell carries relative error ~2^-52, so at q cells per
 // axis the absolute error is ~q*2^-52 cells — with q capped at 2^25 that
 // is < 2^-27 of a cell, far too small to ever shift a floor() across a
-// boundary and strand an in-range pair outside the 3^d neighborhood.
-// Narrower ranges fall back to the brute-force scan, which is always
-// correct; such ranges hold few pairs, so the fallback is cheap in
-// aggregate.
+// boundary by more than the one-cell slack every neighborhood bound
+// already carries. Narrower ranges fall back to the brute-force scan,
+// which is always correct; such ranges hold few pairs, so the fallback is
+// cheap in aggregate.
 const maxCellsPerDim = 1 << 25
+
+// annulusMaxDim bounds the dimensions in which the annulus-filtered cell
+// size is used: the offset neighborhood has (2R+1)^d candidates, so past
+// d = 3 the classic one-cell-per-range scheme (R = 1) wins.
+const annulusMaxDim = 3
+
+// maxOffsetRadius caps R, and with it the per-call offset enumeration at
+// (2R+1)^d vectors; ranges narrower than hi/maxOffsetRadius simply get
+// less cell-level filtering, never more scanning.
+const maxOffsetRadius = 8
 
 // Pairs calls fn exactly once for every unordered pair (u, v), u < v, with
 // dist(u, v) in [lo, hi) — hi == +Inf includes infinite distances. Pairs
-// with distance beyond the range's upper edge are never evaluated unless
-// the grid degenerates (hi at or beyond the point spread, or too fine to
-// index safely).
+// with distance beyond the range's upper edge are never evaluated, and in
+// low dimension pairs well below lo are pre-filtered at cell granularity,
+// unless the grid degenerates (hi at or beyond the point spread, or too
+// fine to index safely).
 func (e *GridEnumerator) Pairs(lo, hi float64, fn func(u, v int, w float64)) {
 	n := len(e.pts)
 	if n < 2 {
 		return
 	}
-	// Cells are padded a relative 2^-20 wider than the range: an in-range
-	// pair's per-axis difference is then < cell*(1 - 2^-21), and with the
-	// quotient rounding error capped below 2^-26 cells (maxCellsPerDim),
-	// computed cell indices provably differ by at most 1 per axis — no
-	// in-range pair can ever escape the 3^d neighborhood.
-	cell := hi * (1 + 1.0/(1<<20))
+	// Pick the cell side: the range width (annulus filtering) in low
+	// dimension, clamped so the offset radius stays bounded; the range's
+	// upper edge (R = 1, the classic 3^d scheme) otherwise.
+	cell := hi
+	annulus := e.dim <= annulusMaxDim && lo > 0 && hi-lo < hi
+	if annulus {
+		if cell = hi - lo; cell < hi/maxOffsetRadius {
+			cell = hi / maxOffsetRadius
+		}
+	}
+	// Pad the cell a relative 2^-20 wider: an in-range pair's per-axis
+	// difference is then strictly less than (hi/cell) cells even after the
+	// bounded quotient rounding, so R below never misses a pair.
+	cell *= 1 + 1.0/(1<<20)
 	usable := cell > 0 && !math.IsInf(cell, 1)
 	for k := 0; usable && k < e.dim; k++ {
 		if e.boxSpan[k]/cell >= maxCellsPerDim {
@@ -105,6 +145,16 @@ func (e *GridEnumerator) Pairs(lo, hi float64, fn func(u, v int, w float64)) {
 			}
 		}
 		return
+	}
+	// An in-range pair's per-axis index difference is at most
+	// floor(hi/cell)+1 even at the worst floor() boundary; in annulus
+	// mode the extra +1 absorbs the pathological case of hi/cell within
+	// rounding of an integer, and the pruning below discards the spurious
+	// corner offsets it admits. With cell = hi (padded), the difference
+	// is at most 1 — the classic 3^d neighborhood.
+	r := 1
+	if annulus {
+		r = int(hi/cell) + 2
 	}
 
 	// Bucket the points into cells of side `cell`, keyed by packed integer
@@ -156,22 +206,51 @@ func (e *GridEnumerator) Pairs(lo, hi float64, fn func(u, v int, w float64)) {
 		}
 	}
 
-	// Within-cell pairs once per cell; cross-cell pairs once per
-	// lexicographically positive offset in {-1, 0, 1}^d.
-	if e.offsets == nil {
-		e.offsets = positiveOffsets(e.dim)
-	}
-	offsets := e.offsets
-	nb := make([]int64, e.dim)
-	for id, members := range cells {
-		for a := 0; a < len(members); a++ {
-			for b := a + 1; b < len(members); b++ {
-				emit(members[a], members[b])
+	// Prune offsets against the annulus once per call: a cell pair at
+	// displacement off only holds in-range pairs if its separation bounds
+	// straddle [lo, hi).
+	// slack pads the squared comparisons against both the multiplication
+	// rounding of cell2 and the coordinate-to-index quotient rounding: a
+	// point's true coordinate can sit up to ~2^-27 of a cell outside its
+	// cell's nominal bounds (see maxCellsPerDim), so separation upper
+	// bounds are inflated by up to (1+2^-26)^2 ≈ 1+3e-8 before they are
+	// safe to prune against. 1e-6 covers that with two orders of margin
+	// while remaining far too small to admit a uselessly distant cell.
+	const slack = 1 + 1e-6
+	offsets := e.offsetsFor(r)
+	cell2 := cell * cell
+	hi2 := hi * hi
+	lo2 := lo * lo
+	live := e.live[:0]
+	if math.IsInf(cell2, 1) || math.IsInf(hi2, 1) {
+		// The squared bounds overflow near the float64 ceiling
+		// (coordinates ~1e154+): 0*Inf comparisons would go NaN and prune
+		// real candidates, so keep the whole neighborhood unpruned.
+		live = append(live, offsets...)
+	} else {
+		for _, o := range offsets {
+			if o.minUnits2*cell2 < hi2*slack && o.maxUnits2*cell2*slack >= lo2 {
+				live = append(live, o)
 			}
 		}
-		for _, off := range offsets {
+	}
+	e.live = live
+	// Same-cell pairs are separated by at most sqrt(d) cells; at an
+	// overflowed cell2 the product is +Inf and the test stays true.
+	sameCell := float64(e.dim)*cell2*slack >= lo2
+
+	nb := make([]int64, e.dim)
+	for id, members := range cells {
+		if sameCell {
+			for a := 0; a < len(members); a++ {
+				for b := a + 1; b < len(members); b++ {
+					emit(members[a], members[b])
+				}
+			}
+		}
+		for _, o := range live {
 			for k := range nb {
-				nb[k] = cellCoord[id][k] + off[k]
+				nb[k] = cellCoord[id][k] + o.off[k]
 				binary.LittleEndian.PutUint64(key[8*k:], uint64(nb[k]))
 			}
 			other, ok := cellOf[string(key)]
@@ -187,28 +266,47 @@ func (e *GridEnumerator) Pairs(lo, hi float64, fn func(u, v int, w float64)) {
 	}
 }
 
-// positiveOffsets returns the lexicographically positive half of
-// {-1, 0, 1}^d (first nonzero component is +1), so each unordered pair of
-// adjacent cells is visited exactly once.
-func positiveOffsets(d int) [][]int64 {
-	var out [][]int64
-	cur := make([]int64, d)
+// offsetsFor returns the lexicographically positive half of [-r, r]^d with
+// per-offset separation bounds, cached per radius, so each unordered pair
+// of distinct cells is visited exactly once.
+func (e *GridEnumerator) offsetsFor(r int) []gridOffset {
+	if e.offsets == nil {
+		e.offsets = make(map[int][]gridOffset)
+	}
+	if out, ok := e.offsets[r]; ok {
+		return out
+	}
+	var out []gridOffset
+	cur := make([]int64, e.dim)
 	var rec func(k int, positive bool)
 	rec = func(k int, positive bool) {
-		if k == d {
-			if positive {
-				out = append(out, append([]int64(nil), cur...))
+		if k == e.dim {
+			if !positive {
+				return
 			}
+			o := gridOffset{off: append([]int64(nil), cur...)}
+			for _, c := range cur {
+				a := float64(c)
+				if a < 0 {
+					a = -a
+				}
+				if m := a - 1; m > 0 {
+					o.minUnits2 += m * m
+				}
+				o.maxUnits2 += (a + 1) * (a + 1)
+			}
+			out = append(out, o)
 			return
 		}
-		for _, v := range [3]int64{-1, 0, 1} {
-			if !positive && v == -1 {
-				continue // first nonzero component must be +1
+		for v := int64(-r); v <= int64(r); v++ {
+			if !positive && v < 0 {
+				continue // first nonzero component must be positive
 			}
 			cur[k] = v
-			rec(k+1, positive || v == 1)
+			rec(k+1, positive || v > 0)
 		}
 	}
 	rec(0, false)
+	e.offsets[r] = out
 	return out
 }

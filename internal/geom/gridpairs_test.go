@@ -146,3 +146,35 @@ func TestGridEnumeratorEmpty(t *testing.T) {
 		}
 	}
 }
+
+// TestGridEnumeratorHugeCoordinates pins the overflow guard of the
+// annulus pruning: with coordinates near the float64 ceiling the squared
+// separation bounds overflow to +Inf, and a 0*Inf comparison would go NaN
+// and silently prune cells holding in-range pairs. Every pair the
+// brute-force reference finds must still be emitted.
+func TestGridEnumeratorHugeCoordinates(t *testing.T) {
+	big := math.Ldexp(1, 511)
+	pts := [][]float64{{1.9 * big}, {2.1 * big}, {0}}
+	e := NewGridEnumerator(pts, func(i, j int) float64 { return Dist(pts[i], pts[j]) })
+	lo, hi := math.Ldexp(1, 490), math.Ldexp(1, 512)
+	want := map[[2]int]bool{}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if d := Dist(pts[i], pts[j]); d >= lo && d < hi {
+				want[[2]int{i, j}] = true
+			}
+		}
+	}
+	got := map[[2]int]bool{}
+	e.Pairs(lo, hi, func(u, v int, w float64) {
+		got[[2]int{u, v}] = true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("emitted %v, want %v", got, want)
+	}
+	for p := range want {
+		if !got[p] {
+			t.Fatalf("pair %v dropped (emitted %v)", p, got)
+		}
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Inf is the distance reported for unreachable vertex pairs.
@@ -258,10 +258,19 @@ func EdgeLess(a, b Edge) bool {
 }
 
 // SortEdges sorts es in non-decreasing order of weight with deterministic
-// (U, V) tie-breaking, in place.
+// (U, V) tie-breaking, in place. EdgeLess is a total order up to fully
+// identical edges, so the unstable generic sort (no interface boxing, a
+// measurably hotter loop than sort.Slice on large candidate buckets)
+// yields the same sequence the stable sort would.
 func SortEdges(es []Edge) {
-	sort.Slice(es, func(i, j int) bool {
-		return EdgeLess(es[i], es[j])
+	slices.SortFunc(es, func(a, b Edge) int {
+		switch {
+		case EdgeLess(a, b):
+			return -1
+		case EdgeLess(b, a):
+			return 1
+		}
+		return 0
 	})
 }
 

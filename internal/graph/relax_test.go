@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRelaxNewEdgeMatchesRecompute maintains a single-source distance
+// array across a random edge-insertion sequence purely through
+// RelaxNewEdge and cross-checks it against a from-scratch Dijkstra after
+// every insertion — the exactness invariant the hub oracle rests on. The
+// sequence starts from an empty graph (where the all-+Inf array is
+// trivially exact) and inserts edges in random order, so it exercises
+// component merges, unreachable regions, weight ties, and no-op
+// insertions alike.
+func TestRelaxNewEdgeMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(25)
+		src := rng.Intn(n)
+		g := New(n)
+		search := NewSearcher(n)
+		dist := make([]float64, n)
+		for v := range dist {
+			dist[v] = Inf
+		}
+		dist[src] = 0
+		want := make([]float64, n)
+		m := 2 * n
+		for e := 0; e < m; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			w := float64(1+rng.Intn(8)) / 2
+			g.MustAddEdge(u, v, w)
+			search.RelaxNewEdge(g, dist, u, v, w)
+			search.Distances(g, src, want)
+			for x := range want {
+				if dist[x] != want[x] {
+					t.Fatalf("trial %d after %d insertions: dist[%d] = %v, want %v",
+						trial, e+1, x, dist[x], want[x])
+				}
+			}
+		}
+	}
+}
+
+// TestRelaxNewEdgeUpperBoundInput checks the rebase-soundness half of the
+// contract: fed an array of valid upper bounds (not exact distances),
+// RelaxNewEdge only ever tightens entries and never drops one below the
+// true distance.
+func TestRelaxNewEdgeUpperBoundInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(20)
+		g := New(n)
+		for e := 0; e < 3*n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.MustAddEdge(u, v, float64(1+rng.Intn(9)))
+			}
+		}
+		src := rng.Intn(n)
+		search := NewSearcher(n)
+		exactOld := make([]float64, n)
+		search.Distances(g, src, exactOld)
+		// Loosen the array: random slack on top of the exact distances.
+		dist := make([]float64, n)
+		for v := range dist {
+			dist[v] = exactOld[v] + float64(rng.Intn(3))
+		}
+		dist[src] = 0
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			v = (v + 1) % n
+		}
+		w := 0.5
+		g.MustAddEdge(u, v, w)
+		before := append([]float64(nil), dist...)
+		search.RelaxNewEdge(g, dist, u, v, w)
+		exact := make([]float64, n)
+		search.Distances(g, src, exact)
+		for x := range dist {
+			if dist[x] > before[x] {
+				t.Fatalf("trial %d: relax loosened dist[%d] from %v to %v", trial, x, before[x], dist[x])
+			}
+			if dist[x] < exact[x] {
+				t.Fatalf("trial %d: relax undercut dist[%d] = %v below exact %v", trial, x, dist[x], exact[x])
+			}
+		}
+	}
+}

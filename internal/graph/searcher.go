@@ -16,13 +16,19 @@ type Searcher struct {
 	// masked is the vertex-failure mark buffer of the masked searches,
 	// allocated on first use and cleared after every call.
 	masked []bool
-	n      int
+	// lastTouched is the vertex count of the most recent single-source
+	// sweep; see LastTouched.
+	lastTouched int
+	n           int
 }
 
 // NewSearcher returns a Searcher for graphs on n vertices.
 func NewSearcher(n int) *Searcher {
 	return &Searcher{scratch: newDijkstraScratch(n), n: n}
 }
+
+// N reports the vertex count the Searcher was sized for.
+func (s *Searcher) N() int { return s.n }
 
 // DistanceWithin reports the shortest-path distance from src to dst in g if
 // it is at most limit, and (Inf, false) otherwise, like
@@ -141,6 +147,7 @@ func (s *Searcher) BoundedDistancesMasked(g *Graph, src int, limit float64, dead
 // filling dst (length n) with the result. Unreachable vertices get Inf.
 func (s *Searcher) Distances(g *Graph, src int, dst []float64) {
 	g.dijkstra(src, -1, Inf, s.scratch)
+	s.lastTouched = len(s.scratch.touched)
 	copy(dst, s.scratch.dist)
 	s.scratch.reset()
 }
@@ -149,6 +156,13 @@ func (s *Searcher) Distances(g *Graph, src int, dst []float64) {
 // keep Inf.
 func (s *Searcher) BoundedDistances(g *Graph, src int, limit float64, dst []float64) {
 	g.dijkstra(src, -1, limit, s.scratch)
+	s.lastTouched = len(s.scratch.touched)
 	copy(dst, s.scratch.dist)
 	s.scratch.reset()
 }
+
+// LastTouched reports how many vertices the most recent Distances or
+// BoundedDistances call reached — the search's actual work, which the
+// engine benchmarks aggregate to compare full-row refreshes against the
+// bounded refreshes of the hub-label fast path.
+func (s *Searcher) LastTouched() int { return s.lastTouched }

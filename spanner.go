@@ -21,6 +21,11 @@
 //     with the active weight bucket and the spanner's working set
 //     instead of the Θ(n²) materialize-then-sort pipeline; see
 //     GreedyMetricParallelOpts and GreedyParallelOpts for the knobs.
+//     The Hubs option adds the hub-label certification fast path:
+//     maintained landmark distance arrays over the growing spanner
+//     answer most skip certifications in O(k) with no search at all —
+//     hub bounds are upper bounds, so output stays bit-identical with
+//     hubs on or off.
 //   - NewIncremental / NewIncrementalGraph — the maintained greedy
 //     spanner: point insertions (metrics) and edge insertions (graphs)
 //     after the initial build, each batch replayed from the first scan
@@ -83,8 +88,24 @@ type ParallelStats = core.ParallelStats
 type MetricParallelOptions = core.MetricParallelOptions
 
 // MetricParallelStats re-exports the metric engine's counters, including
-// the sparse bound-row and streamed-supply memory figures.
+// the sparse bound-row and streamed-supply memory figures and the
+// hub-label fast path's hit counters.
 type MetricParallelStats = core.MetricParallelStats
+
+// IncrementalPolicy re-exports the maintained spanner's batching policy:
+// the zero value replays every insertion immediately, CoalesceUntilQuery
+// defers replays until Result/Flush, and MinBatch defers them until a
+// minimum number of elements is pending. Install with
+// Incremental.SetPolicy.
+type IncrementalPolicy = core.IncrementalPolicy
+
+// FaultTolerantOptions re-exports the fault-tolerant engine's knobs (hub
+// count, probe counters).
+type FaultTolerantOptions = core.FaultTolerantOptions
+
+// FaultTolerantStats re-exports the fault-tolerant engine's probe
+// counters.
+type FaultTolerantStats = core.FaultTolerantStats
 
 // Metric re-exports the finite metric-space interface.
 type Metric = metric.Metric
@@ -280,6 +301,19 @@ func BaswanaSen(rng *rand.Rand, g *Graph, k int) (*Graph, error) {
 func FaultTolerantGreedy(m Metric, t float64, f int) (*Result, error) {
 	return core.FaultTolerantGreedy(m, t, f)
 }
+
+// FaultTolerantGreedyOpts is FaultTolerantGreedy with the hub-label fast
+// path enabled: with Hubs > 0, per-fault-set probes that some hub label
+// proves survivable skip their masked search. Output is bit-identical for
+// every hub count.
+func FaultTolerantGreedyOpts(m Metric, t float64, f int, opts FaultTolerantOptions) (*Result, error) {
+	return core.FaultTolerantGreedyOpts(m, t, f, opts)
+}
+
+// DefaultHubs suggests a hub count for an n-element instance; pass it to
+// the Hubs option when you want the certification fast path without
+// hand-tuning k.
+func DefaultHubs(n int) int { return core.DefaultHubs(n) }
 
 // VerifyFaultTolerance exhaustively audits that h is an f-fault-tolerant
 // t-spanner of m (f in {0, 1, 2}).

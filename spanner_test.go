@@ -210,3 +210,73 @@ func TestPublicAPIIncremental(t *testing.T) {
 		}
 	}
 }
+
+func TestPublicAPIHubsAndPolicy(t *testing.T) {
+	pts := make([][]float64, 0, 36)
+	for i := 0; i < 36; i++ {
+		pts = append(pts, []float64{float64(i % 6), float64(i / 6)})
+	}
+	m, err := NewEuclidean(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GreedyMetric(m, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats MetricParallelStats
+	got, err := GreedyMetricParallelOpts(m, 1.5, MetricParallelOptions{
+		Workers: 1, Hubs: DefaultHubs(len(pts)), Stats: &stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != want.Size() || got.Weight != want.Weight || got.EdgesExamined != want.EdgesExamined {
+		t.Fatalf("hubs: (%d, %v, %d) vs (%d, %v, %d)",
+			got.Size(), got.Weight, got.EdgesExamined, want.Size(), want.Weight, want.EdgesExamined)
+	}
+	if stats.HubSkips == 0 {
+		t.Fatal("hub oracle certified nothing on a grid instance")
+	}
+
+	// FT hub fast path through the facade.
+	ftRef, err := FaultTolerantGreedy(m, 1.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftHub, err := FaultTolerantGreedyOpts(m, 1.6, 1, FaultTolerantOptions{Hubs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ftHub.Size() != ftRef.Size() || ftHub.Weight != ftRef.Weight {
+		t.Fatalf("FT hubs: (%d, %v) vs (%d, %v)", ftHub.Size(), ftHub.Weight, ftRef.Size(), ftRef.Weight)
+	}
+
+	// Coalescing policy through the facade: defer, then flush via Result.
+	base, err := NewEuclidean(pts[:30])
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncremental(base, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.SetPolicy(IncrementalPolicy{CoalesceUntilQuery: true})
+	for k := 31; k <= len(pts); k++ {
+		union, err := NewEuclidean(pts[:k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Insert(union); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inc.Pending() != 6 {
+		t.Fatalf("pending = %d, want 6", inc.Pending())
+	}
+	res := inc.Result()
+	if res.Size() != want.Size() || res.Weight != want.Weight || res.EdgesExamined != want.EdgesExamined {
+		t.Fatalf("coalesced: (%d, %v, %d) vs (%d, %v, %d)",
+			res.Size(), res.Weight, res.EdgesExamined, want.Size(), want.Weight, want.EdgesExamined)
+	}
+}
