@@ -28,11 +28,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/approx"
 	"repro/internal/core"
@@ -42,13 +46,41 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the build context: the engines stop at the
+	// next check point and return the decided prefix, which run reports
+	// to stderr along with any budget-degradation log before exiting
+	// nonzero. stop() restores default signal behavior afterwards, so a
+	// second signal kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "greedy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out *os.File) error {
+// reportAbort describes a cancelled or faulted build on stderr: the size
+// of the clean decided prefix and every degradation step the budget
+// ladder took. The typed error still propagates, so the exit code stays
+// nonzero and BENCH-style consumers see the failure.
+func reportAbort(res *core.Result, degradations []string, err error) error {
+	if res == nil || !res.Partial {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "greedy: build aborted; partial spanner holds %d edges (weight %g) from %d decided candidates\n",
+		res.Size(), res.Weight, res.EdgesExamined)
+	for _, step := range degradations {
+		fmt.Fprintf(os.Stderr, "greedy: degradation: %s\n", step)
+	}
+	return err
+}
+
+func run(ctx context.Context, args []string, out *os.File) error {
 	fs := flag.NewFlagSet("greedy", flag.ContinueOnError)
 	t := fs.Float64("t", 2, "stretch parameter (>= 1)")
 	graphPath := fs.String("graph", "", "path to an edge-list graph file")
@@ -57,8 +89,14 @@ func run(args []string, out *os.File) error {
 	workers := fs.Int("workers", 0, "parallel greedy workers (0 = GOMAXPROCS, -1 = sequential reference engine)")
 	insert := fs.Int("insert", 0, "build on all but the last k inputs, then add those through the incremental engine")
 	hubs := fs.Int("hubs", 0, "hub-label certification fast path: k hub vertices (0 = off, -1 = auto); output is identical either way")
+	timeout := fs.Duration("timeout", 0, "abort the build after this duration (budget deadline; 0 = none)")
+	maxBytes := fs.Int64("maxbytes", 0, "working-set byte budget with graceful degradation (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	budget := core.Budget{MaxBytes: *maxBytes}
+	if *timeout > 0 {
+		budget.Deadline = time.Now().Add(*timeout)
 	}
 	switch {
 	case *graphPath != "" && *pointsPath != "":
@@ -81,20 +119,23 @@ func run(args []string, out *os.File) error {
 			return err
 		}
 		var res *core.Result
+		var stats core.ParallelStats
+		popts := core.ParallelOptions{
+			Workers: *workers, Hubs: resolveHubs(*hubs, g.N()),
+			Ctx: ctx, Budget: budget, Stats: &stats,
+		}
 		if *insert > 0 {
-			res, err = incrementalGraph(g, *t, *workers, resolveHubs(*hubs, g.N()), *insert)
+			res, err = incrementalGraph(g, *t, popts, *insert)
 		} else if *workers < 0 {
 			// The parallel engine produces the same spanner as the
 			// sequential scan; -workers -1 keeps the reference path
 			// reachable for cross-checking.
 			res, err = core.GreedyGraph(g, *t)
 		} else {
-			res, err = core.GreedyGraphParallelOpts(g, *t, core.ParallelOptions{
-				Workers: *workers, Hubs: resolveHubs(*hubs, g.N()),
-			})
+			res, err = core.GreedyGraphParallelOpts(g, *t, popts)
 		}
 		if err != nil {
-			return err
+			return reportAbort(res, stats.Degradations, err)
 		}
 		return writeGraphResult(out, res, g, *t)
 	case *pointsPath != "":
@@ -109,20 +150,23 @@ func run(args []string, out *os.File) error {
 		switch *algo {
 		case "greedy":
 			var res *core.Result
+			var stats core.MetricParallelStats
+			mopts := core.MetricParallelOptions{
+				Workers: *workers, Hubs: resolveHubs(*hubs, m.N()),
+				Ctx: ctx, Budget: budget, Stats: &stats,
+			}
 			if *insert > 0 {
-				res, err = incrementalPoints(pts, *t, *workers, resolveHubs(*hubs, m.N()), *insert)
+				res, err = incrementalPoints(pts, *t, mopts, *insert)
 			} else if *workers < 0 {
 				// The parallel metric engine produces the same spanner as
 				// the serial cached-bound scan; -workers -1 keeps the
 				// reference path reachable for cross-checking.
 				res, err = core.GreedyMetricFastSerial(m, *t)
 			} else {
-				res, err = core.GreedyMetricFastParallelOpts(m, *t, core.MetricParallelOptions{
-					Workers: *workers, Hubs: resolveHubs(*hubs, m.N()),
-				})
+				res, err = core.GreedyMetricFastParallelOpts(m, *t, mopts)
 			}
 			if err != nil {
-				return err
+				return reportAbort(res, stats.Degradations, err)
 			}
 			return writeMetricResult(out, res.Graph(), m, *t)
 		case "approx":
@@ -154,7 +198,7 @@ func resolveHubs(hubs, n int) int {
 // incrementalPoints builds the spanner of all but the last k points and
 // inserts those through the maintained incremental spanner — the output is
 // identical to a from-scratch build on the full point set.
-func incrementalPoints(pts [][]float64, t float64, workers, hubs, k int) (*core.Result, error) {
+func incrementalPoints(pts [][]float64, t float64, opts core.MetricParallelOptions, k int) (*core.Result, error) {
 	if k >= len(pts) {
 		return nil, fmt.Errorf("-insert %d holds out every one of the %d points", k, len(pts))
 	}
@@ -162,7 +206,7 @@ func incrementalPoints(pts [][]float64, t float64, workers, hubs, k int) (*core.
 	if err != nil {
 		return nil, err
 	}
-	inc, err := core.NewIncrementalMetric(base, t, core.MetricParallelOptions{Workers: workers, Hubs: hubs})
+	inc, err := core.NewIncrementalMetric(base, t, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -173,25 +217,25 @@ func incrementalPoints(pts [][]float64, t float64, workers, hubs, k int) (*core.
 	if err := inc.Insert(union); err != nil {
 		return nil, err
 	}
-	return inc.Result(), nil
+	return inc.Result()
 }
 
 // incrementalGraph builds the spanner of g minus its last k edges (input
 // order) and inserts those through the maintained incremental spanner.
-func incrementalGraph(g *graph.Graph, t float64, workers, hubs, k int) (*core.Result, error) {
+func incrementalGraph(g *graph.Graph, t float64, opts core.ParallelOptions, k int) (*core.Result, error) {
 	edges := g.Edges()
 	if k >= len(edges) {
 		return nil, fmt.Errorf("-insert %d holds out every one of the %d edges", k, len(edges))
 	}
 	base := g.Subgraph(edges[:len(edges)-k])
-	inc, err := core.NewIncrementalGraph(base, t, core.ParallelOptions{Workers: workers, Hubs: hubs})
+	inc, err := core.NewIncrementalGraph(base, t, opts)
 	if err != nil {
 		return nil, err
 	}
 	if err := inc.InsertEdges(edges[len(edges)-k:]...); err != nil {
 		return nil, err
 	}
-	return inc.Result(), nil
+	return inc.Result()
 }
 
 func readGraph(path string) (*graph.Graph, error) {

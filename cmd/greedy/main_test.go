@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -24,7 +25,7 @@ func runCapture(t *testing.T, args []string) (string, error) {
 		t.Fatal(err)
 	}
 	defer out.Close()
-	runErr := run(args, out)
+	runErr := run(context.Background(), args, out)
 	data, err := os.ReadFile(out.Name())
 	if err != nil {
 		t.Fatal(err)

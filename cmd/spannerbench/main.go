@@ -46,22 +46,43 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// SIGINT/SIGTERM cancel the benchmark context: the engine benchmarks
+	// abort between repetitions (and mid-scan inside the parallel
+	// engines), nothing partial is written, and any previous BENCH_*.json
+	// is left intact because reports are written via temp file + rename.
+	// After the first signal default handling is restored, so a second
+	// signal kills the process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	err := run(ctx, os.Args[1:])
+	stop()
+	if err != nil {
+		if errors.Is(err, core.ErrCancelled) || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "spannerbench: interrupted; partial results discarded, previous BENCH_*.json reports left intact")
+		}
 		fmt.Fprintln(os.Stderr, "spannerbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("spannerbench", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench, hubbench")
 	scaleFlag := fs.String("scale", "small", "experiment scale: small or full")
@@ -124,26 +145,26 @@ func run(args []string) error {
 
 	name := strings.ToLower(*exp)
 	if name == "greedybench" {
-		tab, report, err := bench.GreedyBench(scale, *seed, *reps)
+		tab, report, err := bench.GreedyBench(ctx, scale, *seed, *reps)
 		return writeReport("BENCH_greedy.json", tab, report, err)
 	}
 	if name == "greedymetricbench" {
 		if *workers < 0 {
 			return fmt.Errorf("-workers must be >= 0 (0 sweeps 1, 4, GOMAXPROCS)")
 		}
-		tab, report, err := bench.GreedyMetricBench(scale, *seed, *reps, *workers)
+		tab, report, err := bench.GreedyMetricBench(ctx, scale, *seed, *reps, *workers)
 		return writeReport("BENCH_greedymetric.json", tab, report, err)
 	}
 	if name == "pairstreambench" {
-		tab, report, err := bench.PairStreamBench(scale, *seed, *reps, *workers)
+		tab, report, err := bench.PairStreamBench(ctx, scale, *seed, *reps, *workers)
 		return writeReport("BENCH_pairstream.json", tab, report, err)
 	}
 	if name == "incrementalbench" {
-		tab, report, err := bench.IncrementalBench(scale, *seed, *reps, *workers)
+		tab, report, err := bench.IncrementalBench(ctx, scale, *seed, *reps, *workers)
 		return writeReport("BENCH_incremental.json", tab, report, err)
 	}
 	if name == "hubbench" {
-		tab, report, err := bench.HubBench(scale, *seed, *reps, *workers, *hubCount)
+		tab, report, err := bench.HubBench(ctx, scale, *seed, *reps, *workers, *hubCount)
 		return writeReport("BENCH_hub.json", tab, report, err)
 	}
 	if name == "all" || name == "ablations" {

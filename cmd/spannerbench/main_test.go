@@ -1,19 +1,20 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 func TestRunFlagValidation(t *testing.T) {
-	if err := run([]string{"-scale", "bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-scale", "bogus"}); err == nil {
 		t.Fatal("bad scale accepted")
 	}
-	if err := run([]string{"-exp", "e99"}); err == nil {
+	if err := run(context.Background(), []string{"-exp", "e99"}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run([]string{"-bogus-flag"}); err == nil {
+	if err := run(context.Background(), []string{"-bogus-flag"}); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
 }
@@ -21,26 +22,26 @@ func TestRunFlagValidation(t *testing.T) {
 func TestRunSingleExperiment(t *testing.T) {
 	// e1 is deterministic and fast; it exercises the full path through
 	// table rendering.
-	if err := run([]string{"-exp", "e1"}); err != nil {
+	if err := run(context.Background(), []string{"-exp", "e1"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSmallAblation(t *testing.T) {
-	if err := run([]string{"-exp", "a2", "-scale", "small"}); err != nil {
+	if err := run(context.Background(), []string{"-exp", "a2", "-scale", "small"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMetricBatchAblation(t *testing.T) {
-	if err := run([]string{"-exp", "a5", "-scale", "small"}); err != nil {
+	if err := run(context.Background(), []string{"-exp", "a5", "-scale", "small"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunIncrementalBench(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_incremental.json")
-	if err := run([]string{"-exp", "incrementalbench", "-scale", "small", "-workers", "1", "-json", path}); err != nil {
+	if err := run(context.Background(), []string{"-exp", "incrementalbench", "-scale", "small", "-workers", "1", "-json", path}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(path); err != nil {
@@ -50,7 +51,7 @@ func TestRunIncrementalBench(t *testing.T) {
 
 func TestRunGreedyMetricBench(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_greedymetric.json")
-	if err := run([]string{"-exp", "greedymetricbench", "-scale", "small", "-workers", "2", "-json", path}); err != nil {
+	if err := run(context.Background(), []string{"-exp", "greedymetricbench", "-scale", "small", "-workers", "2", "-json", path}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(path); err != nil {

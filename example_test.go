@@ -157,7 +157,11 @@ func ExampleNewIncremental() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("size=%d\n", inc.Result().Size())
+	res0, err := inc.Result()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("size=%d\n", res0.Size())
 
 	union, err := spanner.NewEuclidean([][]float64{{0}, {1}, {2}, {4}, {8}})
 	if err != nil {
@@ -170,7 +174,10 @@ func ExampleNewIncremental() {
 	if err != nil {
 		panic(err)
 	}
-	res := inc.Result()
+	res, err := inc.Result()
+	if err != nil {
+		panic(err)
+	}
 	identical := res.Size() == scratch.Size() && res.Weight == scratch.Weight
 	for i := range scratch.Edges {
 		identical = identical && res.Edges[i] == scratch.Edges[i]

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"os"
 	"testing"
 )
@@ -129,7 +130,7 @@ func TestAblationsAll(t *testing.T) {
 }
 
 func TestGreedyBenchSmall(t *testing.T) {
-	tab, report, err := GreedyBench(Small, 1, 3)
+	tab, report, err := GreedyBench(context.Background(), Small, 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestGreedyBenchSmall(t *testing.T) {
 }
 
 func TestGreedyMetricBenchSmall(t *testing.T) {
-	tab, report, err := GreedyMetricBench(Small, 1, 3, 0)
+	tab, report, err := GreedyMetricBench(context.Background(), Small, 1, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestGreedyMetricBenchSmall(t *testing.T) {
 }
 
 func TestGreedyMetricBenchSingleWorkerSet(t *testing.T) {
-	_, report, err := GreedyMetricBench(Small, 2, 3, 2)
+	_, report, err := GreedyMetricBench(context.Background(), Small, 2, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeFileAtomic writes data to path by staging it in a temp file in the
+// same directory and renaming it into place. An interrupted benchmark run
+// (SIGINT mid-marshal, a crashed process, a full disk) therefore never
+// truncates or corrupts a previous report at path: the rename either
+// happens completely or not at all.
+func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

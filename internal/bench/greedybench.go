@@ -1,9 +1,9 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
-	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -109,8 +109,10 @@ func sameOutput(a, b *core.Result) bool {
 // GreedyBench times sequential vs parallel greedy construction on random
 // graphs and returns both a printable table and the JSON report. Small
 // scale runs n=200 only; Full adds the n=2000 instance the acceptance
-// benchmark tracks.
-func GreedyBench(scale Scale, seed int64, reps int) (*Table, *GreedyBenchReport, error) {
+// benchmark tracks. Cancelling ctx aborts the run between repetitions (and
+// mid-scan inside the parallel engine) with a typed error; nothing is
+// written on abort.
+func GreedyBench(ctx context.Context, scale Scale, seed int64, reps int) (*Table, *GreedyBenchReport, error) {
 	if reps < 3 {
 		reps = 3
 	}
@@ -145,6 +147,9 @@ func GreedyBench(scale Scale, seed int64, reps int) (*Table, *GreedyBenchReport,
 
 		var ref *core.Result
 		for r := 0; r < reps; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 			start := time.Now()
 			res, err := core.GreedyGraph(g, inst.t)
 			if err != nil {
@@ -178,7 +183,7 @@ func GreedyBench(scale Scale, seed int64, reps int) (*Table, *GreedyBenchReport,
 			identical := true
 			for r := 0; r < reps; r++ {
 				start := time.Now()
-				res, err := core.GreedyGraphParallel(g, inst.t, w)
+				res, err := core.GreedyGraphParallelOpts(g, inst.t, core.ParallelOptions{Workers: w, Ctx: ctx})
 				if err != nil {
 					return nil, nil, err
 				}
@@ -189,7 +194,7 @@ func GreedyBench(scale Scale, seed int64, reps int) (*Table, *GreedyBenchReport,
 			run.SpreadPct = spreadPct(run.MS)
 			run.Speedup = c.SequentialMedianMS / run.MedianMS
 			peak, totalAlloc, err := measureAlloc(func() error {
-				_, err := core.GreedyGraphParallel(g, inst.t, w)
+				_, err := core.GreedyGraphParallelOpts(g, inst.t, core.ParallelOptions{Workers: w, Ctx: ctx})
 				return err
 			})
 			if err != nil {
@@ -207,13 +212,15 @@ func GreedyBench(scale Scale, seed int64, reps int) (*Table, *GreedyBenchReport,
 	return tab, report, nil
 }
 
-// WriteJSON writes the report to path, pretty-printed.
+// WriteJSON writes the report to path, pretty-printed, atomically
+// (temp file + rename), so an interrupted run never damages a previous
+// report at the same path.
 func (r *GreedyBenchReport) WriteJSON(path string) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return writeFileAtomic(path, append(data, '\n'), 0o644)
 }
 
 func yesNo(b bool) string {

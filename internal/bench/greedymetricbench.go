@@ -1,9 +1,9 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
-	"os"
 	"runtime"
 	"time"
 
@@ -65,8 +65,9 @@ type GreedyMetricBenchReport struct {
 // sweep to that single worker count (the -workers flag of cmd/spannerbench);
 // workers <= 0 sweeps {1, 4, GOMAXPROCS}. Small scale runs n≈200
 // instances; Full adds the n=1000 Euclidean instance the acceptance
-// benchmark tracks.
-func GreedyMetricBench(scale Scale, seed int64, reps, workers int) (*Table, *GreedyMetricBenchReport, error) {
+// benchmark tracks. Cancelling ctx aborts the run between repetitions (and
+// mid-scan inside the parallel engine) with a typed error.
+func GreedyMetricBench(ctx context.Context, scale Scale, seed int64, reps, workers int) (*Table, *GreedyMetricBenchReport, error) {
 	if reps < 3 {
 		reps = 3
 	}
@@ -120,6 +121,9 @@ func GreedyMetricBench(scale Scale, seed int64, reps, workers int) (*Table, *Gre
 		var ref *core.Result
 		for r := 0; r < reps; r++ {
 			start := time.Now()
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 			res, err := core.GreedyMetricFastSerial(inst.m, inst.t)
 			if err != nil {
 				return nil, nil, err
@@ -152,7 +156,7 @@ func GreedyMetricBench(scale Scale, seed int64, reps, workers int) (*Table, *Gre
 			identical := true
 			for r := 0; r < reps; r++ {
 				start := time.Now()
-				res, err := core.GreedyMetricFastParallel(inst.m, inst.t, w)
+				res, err := core.GreedyMetricFastParallelOpts(inst.m, inst.t, core.MetricParallelOptions{Workers: w, Ctx: ctx})
 				if err != nil {
 					return nil, nil, err
 				}
@@ -163,7 +167,7 @@ func GreedyMetricBench(scale Scale, seed int64, reps, workers int) (*Table, *Gre
 			run.SpreadPct = spreadPct(run.MS)
 			run.Speedup = c.SequentialMedianMS / run.MedianMS
 			peak, totalAlloc, err := measureAlloc(func() error {
-				_, err := core.GreedyMetricFastParallel(inst.m, inst.t, w)
+				_, err := core.GreedyMetricFastParallelOpts(inst.m, inst.t, core.MetricParallelOptions{Workers: w, Ctx: ctx})
 				return err
 			})
 			if err != nil {
@@ -189,11 +193,13 @@ func GreedyMetricBench(scale Scale, seed int64, reps, workers int) (*Table, *Gre
 	return tab, report, nil
 }
 
-// WriteJSON writes the report to path, pretty-printed.
+// WriteJSON writes the report to path, pretty-printed, atomically
+// (temp file + rename), so an interrupted run never damages a previous
+// report at the same path.
 func (r *GreedyMetricBenchReport) WriteJSON(path string) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return writeFileAtomic(path, append(data, '\n'), 0o644)
 }

@@ -1,9 +1,9 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
-	"os"
 	"runtime"
 	"time"
 
@@ -90,7 +90,7 @@ type HubBenchReport struct {
 // selects the enabled run's hub count (<= 0 picks core.DefaultHubs per
 // instance). Small scale runs n=500 instances; Full runs the n=4000
 // acceptance instances plus the incremental insertion workload.
-func HubBench(scale Scale, seed int64, reps, workers, hubs int) (*Table, *HubBenchReport, error) {
+func HubBench(ctx context.Context, scale Scale, seed int64, reps, workers, hubs int) (*Table, *HubBenchReport, error) {
 	if reps < 3 {
 		reps = 3
 	}
@@ -134,7 +134,7 @@ func HubBench(scale Scale, seed int64, reps, workers, hubs int) (*Table, *HubBen
 		for _, kk := range []int{0, k} {
 			run := HubBenchRun{Hubs: kk, Identical: true}
 			var stats core.ParallelStats
-			opts := core.ParallelOptions{Workers: workers, Hubs: kk, Stats: &stats}
+			opts := core.ParallelOptions{Workers: workers, Hubs: kk, Stats: &stats, Ctx: ctx}
 			var last *core.Result
 			for r := 0; r < reps; r++ {
 				start := time.Now()
@@ -182,7 +182,7 @@ func HubBench(scale Scale, seed int64, reps, workers, hubs int) (*Table, *HubBen
 		for _, kk := range []int{0, k} {
 			run := HubBenchRun{Hubs: kk, Identical: true}
 			var stats core.MetricParallelStats
-			opts := core.MetricParallelOptions{Workers: workers, Hubs: kk, Stats: &stats}
+			opts := core.MetricParallelOptions{Workers: workers, Hubs: kk, Stats: &stats, Ctx: ctx}
 			var last *core.Result
 			for r := 0; r < reps; r++ {
 				start := time.Now()
@@ -237,7 +237,7 @@ func HubBench(scale Scale, seed int64, reps, workers, hubs int) (*Table, *HubBen
 		for _, kk := range []int{0, k} {
 			run := HubBenchRun{Hubs: kk, Identical: true}
 			var stats core.MetricParallelStats
-			opts := core.MetricParallelOptions{Workers: workers, Hubs: kk, Stats: &stats}
+			opts := core.MetricParallelOptions{Workers: workers, Hubs: kk, Stats: &stats, Ctx: ctx}
 			var last *core.Result
 			exact, touched, hq, hs, hr, certified := 0, 0, 0, 0, 0, 0
 			for r := 0; r < reps; r++ {
@@ -263,7 +263,7 @@ func HubBench(scale Scale, seed int64, reps, workers, hubs int) (*Table, *HubBen
 					tally()
 				}
 				run.MS = append(run.MS, time.Since(start).Seconds()*1000)
-				last = inc.Result()
+				last = mustIncResult(inc)
 				if base != nil {
 					run.Identical = run.Identical && sameOutput(base, last) && base.EdgesExamined == last.EdgesExamined
 				}
@@ -339,11 +339,13 @@ func finishHubCase(c *HubBenchCase, tab *Table) {
 	}
 }
 
-// WriteJSON writes the report to path, pretty-printed.
+// WriteJSON writes the report to path, pretty-printed, atomically
+// (temp file + rename), so an interrupted run never damages a previous
+// report at the same path.
 func (r *HubBenchReport) WriteJSON(path string) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return writeFileAtomic(path, append(data, '\n'), 0o644)
 }

@@ -1,9 +1,9 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
-	"os"
 	"runtime"
 	"time"
 
@@ -11,6 +11,17 @@ import (
 	"repro/internal/gen"
 	"repro/internal/metric"
 )
+
+// mustIncResult flushes and returns the maintained result; a replay error
+// is impossible here (no context, budget, or injected fault is configured
+// in the benchmarks), so it is treated as a harness bug.
+func mustIncResult(inc *core.IncrementalSpanner) *core.Result {
+	res, err := inc.Result()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
 
 // The incremental benchmark quantifies the workload the maintained spanner
 // opens: interleaved insertions. The baseline policy is what the repo
@@ -90,7 +101,7 @@ type IncrementalBenchReport struct {
 // rebuild-per-insert policy. workers selects the engine worker count
 // (<= 0 uses 1). Small scale runs the n=500 instance; Full adds the
 // n=4000 acceptance instance.
-func IncrementalBench(scale Scale, seed int64, reps, workers int) (*Table, *IncrementalBenchReport, error) {
+func IncrementalBench(ctx context.Context, scale Scale, seed int64, reps, workers int) (*Table, *IncrementalBenchReport, error) {
 	if reps < 3 {
 		reps = 3
 	}
@@ -133,7 +144,7 @@ func IncrementalBench(scale Scale, seed int64, reps, workers int) (*Table, *Incr
 			Inserted: inst.inserted, InsertBatch: inst.batch,
 			Stretch: stretch, Identical: true,
 		}
-		opts := core.MetricParallelOptions{Workers: workers}
+		opts := core.MetricParallelOptions{Workers: workers, Ctx: ctx}
 
 		// Rebuild policy: the per-insert cost is one full build at n.
 		var ref *core.Result
@@ -178,7 +189,7 @@ func IncrementalBench(scale Scale, seed int64, reps, workers int) (*Table, *Incr
 				}
 			}
 			c.IncrementalTotalMS = append(c.IncrementalTotalMS, time.Since(start).Seconds()*1000)
-			c.Identical = c.Identical && sameOutput(ref, inc.Result())
+			c.Identical = c.Identical && sameOutput(ref, mustIncResult(inc))
 		}
 		c.IncrementalMedianMS = median(c.IncrementalTotalMS)
 		c.IncrementalSpreadPct = spreadPct(c.IncrementalTotalMS)
@@ -239,13 +250,13 @@ func IncrementalBench(scale Scale, seed int64, reps, workers int) (*Table, *Incr
 				return nil, nil, err
 			}
 			c.PerPointTotalMS = append(c.PerPointTotalMS, ms)
-			c.Identical = c.Identical && sameOutput(ref, inc.Result())
+			c.Identical = c.Identical && sameOutput(ref, mustIncResult(inc))
 			inc, ms, err = stream(core.IncrementalPolicy{MinBatch: inst.batch})
 			if err != nil {
 				return nil, nil, err
 			}
 			c.CoalescedTotalMS = append(c.CoalescedTotalMS, ms)
-			c.Identical = c.Identical && sameOutput(ref, inc.Result())
+			c.Identical = c.Identical && sameOutput(ref, mustIncResult(inc))
 		}
 		c.PerPointMedianMS = median(c.PerPointTotalMS)
 		c.PerPointPerInsertMS = c.PerPointMedianMS / float64(inst.inserted)
@@ -272,11 +283,13 @@ func IncrementalBench(scale Scale, seed int64, reps, workers int) (*Table, *Incr
 	return tab, report, nil
 }
 
-// WriteJSON writes the report to path, pretty-printed.
+// WriteJSON writes the report to path, pretty-printed, atomically
+// (temp file + rename), so an interrupted run never damages a previous
+// report at the same path.
 func (r *IncrementalBenchReport) WriteJSON(path string) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return writeFileAtomic(path, append(data, '\n'), 0o644)
 }

@@ -1,9 +1,9 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
-	"os"
 	"runtime"
 	"time"
 
@@ -78,7 +78,7 @@ type PairStreamBenchReport struct {
 // materialized vs streamed candidate supplies. workers selects the engine
 // worker count (<= 0 uses 1, keeping the supply the only variable). Small
 // scale runs n=500; Full adds n=2000 and the n=4000 acceptance instance.
-func PairStreamBench(scale Scale, seed int64, reps, workers int) (*Table, *PairStreamBenchReport, error) {
+func PairStreamBench(ctx context.Context, scale Scale, seed int64, reps, workers int) (*Table, *PairStreamBenchReport, error) {
 	if reps < 3 {
 		reps = 3
 	}
@@ -107,6 +107,9 @@ func PairStreamBench(scale Scale, seed int64, reps, workers int) (*Table, *PairS
 	for _, n := range sizes {
 		m := metric.MustEuclidean(gen.UniformPoints(rng, n, 2))
 		const stretch = 1.5
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		ref, err := core.GreedyMetricFastSerial(m, stretch)
 		if err != nil {
 			return nil, nil, err
@@ -128,6 +131,7 @@ func PairStreamBench(scale Scale, seed int64, reps, workers int) (*Table, *PairS
 			var stats core.MetricParallelStats
 			opts := cfg.opts
 			opts.Stats = &stats
+			opts.Ctx = ctx
 			for r := 0; r < reps; r++ {
 				start := time.Now()
 				res, err := core.GreedyMetricFastParallelOpts(m, stretch, opts)
@@ -170,11 +174,13 @@ func PairStreamBench(scale Scale, seed int64, reps, workers int) (*Table, *PairS
 	return tab, report, nil
 }
 
-// WriteJSON writes the report to path, pretty-printed.
+// WriteJSON writes the report to path, pretty-printed, atomically
+// (temp file + rename), so an interrupted run never damages a previous
+// report at the same path.
 func (r *PairStreamBenchReport) WriteJSON(path string) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return writeFileAtomic(path, append(data, '\n'), 0o644)
 }

@@ -43,7 +43,7 @@ func TestCoalescePolicyMetric(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				assertSameResult(t, want, inc.Result())
+				assertSameResult(t, want, mustResult(t, inc))
 				if inc.Pending() != 0 {
 					t.Fatalf("Result left %d pending", inc.Pending())
 				}
@@ -53,7 +53,7 @@ func TestCoalescePolicyMetric(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		assertSameResult(t, want, inc.Result())
+		assertSameResult(t, want, mustResult(t, inc))
 	}
 }
 
@@ -82,14 +82,14 @@ func TestCoalescePolicyGraph(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				assertSameResult(t, want, inc.Result())
+				assertSameResult(t, want, mustResult(t, inc))
 			}
 		}
 		want, err := GreedyGraph(grown, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
-		assertSameResult(t, want, inc.Result())
+		assertSameResult(t, want, mustResult(t, inc))
 	}
 }
 
@@ -120,5 +120,5 @@ func TestSetPolicyFlushesPending(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	assertSameResult(t, want, inc.Result())
+	assertSameResult(t, want, mustResult(t, inc))
 }

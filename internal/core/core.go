@@ -20,8 +20,15 @@ type Result struct {
 	// Weight is the total edge weight of the spanner.
 	Weight float64
 	// EdgesExamined counts candidate edges considered (m for graphs,
-	// n(n-1)/2 for metrics).
+	// n(n-1)/2 for metrics). On a Partial result it counts only the
+	// candidates actually decided before the abort.
 	EdgesExamined int
+	// Partial marks a build aborted by cancellation, deadline, or a
+	// captured fault. The Edges of a partial result are an exact prefix
+	// of the edge sequence the completed build would have produced —
+	// every decision made before the abort is final — but the result is
+	// not a t-spanner of the whole input.
+	Partial bool
 }
 
 // Graph materializes the spanner as a graph over the input's vertex set.
@@ -68,6 +75,13 @@ func validStretch(t float64) bool {
 	return t >= 1 && !math.IsInf(t, 0) && !math.IsNaN(t)
 }
 
+// errInvalidStretch is the shared rejection every constructor returns for
+// an unusable stretch parameter; it wraps graph.ErrInvalidInput so callers
+// can catch it with one errors.Is check.
+func errInvalidStretch(t float64) error {
+	return fmt.Errorf("core: stretch %v out of range [1, inf): %w", t, graph.ErrInvalidInput)
+}
+
 // GreedyGraph runs Algorithm 1 of the paper on a weighted graph with stretch
 // parameter t >= 1: edges are scanned in non-decreasing weight order (ties
 // broken by endpoint ids, deterministically) and edge (u, v) is added iff
@@ -78,7 +92,7 @@ func validStretch(t float64) bool {
 // Corollary 4 of the paper.
 func GreedyGraph(g *graph.Graph, t float64) (*Result, error) {
 	if !validStretch(t) {
-		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
+		return nil, errInvalidStretch(t)
 	}
 	h := graph.New(g.N())
 	res := &Result{N: g.N(), Stretch: t}
@@ -128,7 +142,7 @@ func GreedyMetricFast(m metric.Metric, t float64) (*Result, error) {
 // behaviour in practice, versus the cubic-ish naive bound.
 func GreedyMetricFastSerial(m metric.Metric, t float64) (*Result, error) {
 	if !validStretch(t) {
-		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
+		return nil, errInvalidStretch(t)
 	}
 	n := m.N()
 	res := &Result{N: n, Stretch: t}

@@ -124,4 +124,31 @@
 // The maintained result after every insertion batch is therefore
 // bit-identical to a from-scratch greedy build on the union, counters
 // included.
+//
+// # Cancellation, budgets, and the fault-containment invariant
+//
+// Every engine accepts an optional context and Budget (the Ctx and
+// Budget option fields). Cancellation is observed at batch boundaries
+// and, inside a batch, after each certification search but before its
+// decision commits — a truncated search can report "not within reach"
+// spuriously, so no decision derived from one is ever recorded. A
+// cancelled or deadline-expired build returns the exact decided prefix
+// (Result.Partial set) with ErrCancelled; worker pools are always
+// joined before returning. Budget pressure walks a degradation ladder
+// (materialized supply → streamed, narrower buckets, smaller batches,
+// hub oracle dropped, bound rows dropped) in which every rung is
+// output-invariant — each merely disables a fast path whose soundness
+// argument never affected decisions — and is recorded in the stats'
+// Degradations log. Worker panics are converted to ErrEnginePanic;
+// checksum-guarded bound rows (GuardRows) surface bit flips as
+// ErrCorruptState, verified before every fold, overwrite, and
+// cache-certified skip, and incremental rebases drop rather than
+// re-digest damaged rows.
+//
+// The invariant the internal/chaos property suite enforces across all
+// four engines: any injected fault — worker panic, stalled
+// certification, cancellation at a randomized scan position, or a
+// checksum-bypassing bit flip — yields either output bit-identical to
+// the serial reference or a clean typed error with the exact decided
+// prefix; never silent divergence, never a leaked goroutine.
 package core

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -45,6 +46,17 @@ type FaultTolerantOptions struct {
 	Hubs int
 	// Stats, when non-nil, is filled with probe counters.
 	Stats *FaultTolerantStats
+
+	// Ctx, when non-nil, cancels the scan: the build stops at the next
+	// candidate boundary and returns the exact decided prefix (Partial
+	// set) with an error wrapping ErrCancelled. Nil means no cancellation.
+	Ctx context.Context
+	// Budget bounds the run (here: the deadline and batch width; the
+	// fault-tolerant scan holds no droppable caches beyond the hub
+	// oracle, which the byte budget may shrink before allocation).
+	Budget Budget
+	// Inject installs fault-injection hooks; see InjectionHooks.
+	Inject InjectionHooks
 }
 
 // FaultTolerantStats reports how the fault-tolerant greedy scan spent its
@@ -58,13 +70,19 @@ type FaultTolerantStats struct {
 	// HubRelaxed is the hub arrays' total maintenance cost, in re-relaxed
 	// entries.
 	HubRelaxed int
+	// Degradations records each budget-degradation step taken, in order.
+	Degradations []string
+}
+
+func (st *FaultTolerantStats) degradationSink() func(string) {
+	return func(step string) { st.Degradations = append(st.Degradations, step) }
 }
 
 // FaultTolerantGreedyOpts is FaultTolerantGreedy with the hub-label fast
 // path and probe counters; see FaultTolerantOptions.
 func FaultTolerantGreedyOpts(m metric.Metric, t float64, f int, opts FaultTolerantOptions) (*Result, error) {
 	if !validStretch(t) {
-		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
+		return nil, errInvalidStretch(t)
 	}
 	if f < 0 || f > 2 {
 		return nil, fmt.Errorf("core: fault parameter %d out of supported range [0, 2]", f)
@@ -75,42 +93,83 @@ func FaultTolerantGreedyOpts(m metric.Metric, t float64, f int, opts FaultTolera
 	}
 	*stats = FaultTolerantStats{}
 	if f == 0 {
-		return GreedyMetricFastParallelOpts(m, t, MetricParallelOptions{Hubs: opts.Hubs})
+		return GreedyMetricFastParallelOpts(m, t, MetricParallelOptions{
+			Hubs:   opts.Hubs,
+			Ctx:    opts.Ctx,
+			Budget: opts.Budget,
+			Inject: opts.Inject,
+		})
 	}
 	n := m.N()
 	res := &Result{N: n, Stretch: t}
 	if n <= 1 {
 		return res, nil
 	}
+	env := newScanEnv(opts.Ctx, opts.Budget, opts.Inject, stats.degradationSink())
+	err := ftScan(m, t, f, opts, env, res, stats)
+	if err != nil {
+		res.Partial = true
+	}
+	return res, err
+}
+
+// ftScan is the fault-tolerant greedy main loop. The scan is serial, so
+// cancellation is checked at batch boundaries and after each candidate's
+// probes, before its accept/skip decision commits: an abandoned masked
+// search can only under-report coverage (claim "not covered" spuriously),
+// never fabricate a surviving path, so a decision is committed only when
+// the cancel predicate — monotone — was still false after its probes ran.
+// The deferred recover converts any panic (including one injected through
+// OnCertify or raised during hub re-relaxation in OnAccept) into a typed
+// ErrEnginePanic with the decided prefix preserved.
+func ftScan(m metric.Metric, t float64, f int, opts FaultTolerantOptions, env *scanEnv, res *Result, stats *FaultTolerantStats) (err error) {
+	defer capturePanic(&err)
+	n := m.N()
 	src := NewMetricSource(m, 0)
 	h := graph.New(n)
 	search := graph.NewSearcher(n)
+	search.SetStop(env.stopFn())
 	var oracle *HubOracle
-	if opts.Hubs > 0 {
-		oracle = NewHubOracle(SelectMetricHubs(m, opts.Hubs), h, 0)
+	hubs := opts.Hubs
+	if env != nil {
+		resolveHubBudget(env.budget, env.record, &hubs, n)
 	}
-	for {
-		pairs := src.NextBatch(maxBatch)
+	if hubs > 0 {
+		oracle = NewHubOracle(SelectMetricHubs(m, hubs), h, 0)
+	}
+	batch := env.clampBatch(maxBatch)
+	for batchNo := 0; ; batchNo++ {
+		if cerr := env.cancelled(); cerr != nil {
+			return cerr
+		}
+		env.onBatch(batchNo, nil)
+		pairs := src.NextBatch(batch)
 		if len(pairs) == 0 {
 			break
 		}
 		for _, e := range pairs {
+			env.onCertify(e)
+			covered := ftCovered(search, h, oracle, e, t, f, stats)
+			if env.active() {
+				if cerr := env.cancelled(); cerr != nil {
+					return cerr
+				}
+			}
+			if !covered {
+				h.MustAddEdge(e.U, e.V, e.W)
+				res.Edges = append(res.Edges, e)
+				res.Weight += e.W
+				if oracle != nil {
+					oracle.OnAccept(e)
+				}
+			}
 			res.EdgesExamined++
-			if ftCovered(search, h, oracle, e, t, f, stats) {
-				continue
-			}
-			h.MustAddEdge(e.U, e.V, e.W)
-			res.Edges = append(res.Edges, e)
-			res.Weight += e.W
-			if oracle != nil {
-				oracle.OnAccept(e)
-			}
 		}
 	}
 	if oracle != nil {
 		stats.HubRelaxed = oracle.Relaxed()
 	}
-	return res, nil
+	return nil
 }
 
 // ftCovered reports whether, for every fault set F with |F| <= f avoiding

@@ -130,12 +130,12 @@ func TestHubOracleRebaseAcrossInsertions(t *testing.T) {
 			if err := inc.Insert(metric.MustEuclidean(pts[:hi])); err != nil {
 				t.Fatal(err)
 			}
-			checkOracleBounds(t, inc.oracle, inc.Result().Graph())
+			checkOracleBounds(t, inc.oracle, mustResult(t, inc).Graph())
 			want, err := GreedyMetricFastSerial(metric.MustEuclidean(pts[:hi]), 1.5)
 			if err != nil {
 				t.Fatal(err)
 			}
-			assertSameResult(t, want, inc.Result())
+			assertSameResult(t, want, mustResult(t, inc))
 		}
 	}
 }
@@ -229,7 +229,7 @@ func TestIncrementalEquivalenceAcrossHubs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			assertSameResult(t, want, inc.Result())
+			assertSameResult(t, want, mustResult(t, inc))
 		}
 	}
 
@@ -252,7 +252,7 @@ func TestIncrementalEquivalenceAcrossHubs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			assertSameResult(t, want, inc.Result())
+			assertSameResult(t, want, mustResult(t, inc))
 		}
 	}
 }
@@ -397,7 +397,7 @@ func TestIncrementalHubsFromTinyStart(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		assertSameResult(t, want, inc.Result())
+		assertSameResult(t, want, mustResult(t, inc))
 	}
 	if inc.oracle == nil || hubQueries == 0 {
 		t.Fatalf("hub oracle absent or idle after growth (oracle=%v, queries=%d)", inc.oracle != nil, hubQueries)

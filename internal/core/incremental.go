@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -111,12 +112,23 @@ func (p IncrementalPolicy) coalescing() bool {
 // SetPolicy installs the batching policy for subsequent insertions. Any
 // already-pending insertions are flushed first if the new policy would
 // have replayed them (it is eager, or its MinBatch trigger is already
-// met).
-func (s *IncrementalSpanner) SetPolicy(p IncrementalPolicy) {
+// met); a non-nil error is that flush's error, with the pre-flush state
+// preserved (see Flush).
+func (s *IncrementalSpanner) SetPolicy(p IncrementalPolicy) error {
 	s.policy = p
 	if !p.coalescing() || (p.MinBatch > 0 && s.pendingInserted >= p.MinBatch) {
-		s.Flush()
+		return s.Flush()
 	}
+	return nil
+}
+
+// SetContext installs the context every subsequent replay (and flush) runs
+// under; nil removes it. A cancelled replay aborts with ErrCancelled and
+// preserves the pre-flush state, so the same pending insertions can be
+// flushed again under a fresh context.
+func (s *IncrementalSpanner) SetContext(ctx context.Context) {
+	s.mopts.Ctx = ctx
+	s.gopts.Ctx = ctx
 }
 
 // Pending reports how many inserted elements await replay under a
@@ -133,7 +145,7 @@ var errSupplyOption = fmt.Errorf("core: incremental spanner owns its candidate s
 // to every insertion replay; Source and Materialize are rejected.
 func NewIncrementalMetric(m metric.Metric, t float64, opts MetricParallelOptions) (*IncrementalSpanner, error) {
 	if !validStretch(t) {
-		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
+		return nil, errInvalidStretch(t)
 	}
 	if opts.Source != nil || opts.Materialize {
 		return nil, errSupplyOption
@@ -142,6 +154,9 @@ func NewIncrementalMetric(m metric.Metric, t float64, opts MetricParallelOptions
 	n := m.N()
 	s.res = &Result{N: n, Stretch: t}
 	s.bound = newBoundStore(n)
+	if opts.GuardRows {
+		s.bound.setGuard()
+	}
 	// Reserve per-row growth headroom up front: insertions then extend
 	// rows in place instead of reallocating the whole row set.
 	s.bound.slack = boundRowSlack(n)
@@ -153,12 +168,15 @@ func NewIncrementalMetric(m metric.Metric, t float64, opts MetricParallelOptions
 		}
 	}
 	h := graph.New(n)
-	if opts.Hubs > 0 && n > 0 {
+	st := s.scanStats()
+	hubs := opts.Hubs
+	resolveHubBudget(opts.Budget, st.degradationSink(), &hubs, n)
+	if hubs > 0 && n > 0 {
 		// Hubs are selected once, on the initial points, and their
 		// arrays carry the same growth slack as the bound rows. The
 		// oracle exists even when the initial set is too small to scan,
 		// so insertions that grow the spanner still get the fast path.
-		s.oracle = NewHubOracle(SelectMetricHubs(m, opts.Hubs), h, boundRowSlack(n))
+		s.oracle = NewHubOracle(SelectMetricHubs(m, hubs), h, boundRowSlack(n))
 	}
 	if n > 1 {
 		sc := &metricScan{
@@ -168,9 +186,12 @@ func NewIncrementalMetric(m metric.Metric, t float64, opts MetricParallelOptions
 			bound:   s.bound,
 			oracle:  s.oracle,
 			res:     s.res,
-			stats:   s.scanStats(),
+			stats:   st,
+			env:     s.scanEnvFor(st.degradationSink()),
 		}
-		sc.run(newMetricSourceSeeded(m, opts.BucketPairs, s.counts), opts.BatchSize)
+		if err := sc.run(newMetricSourceSeeded(m, opts.BucketPairs, s.counts), opts.BatchSize); err != nil {
+			return nil, fmt.Errorf("core: incremental initial build aborted: %w", err)
+		}
 	}
 	return s, nil
 }
@@ -183,7 +204,7 @@ func NewIncrementalMetric(m metric.Metric, t float64, opts MetricParallelOptions
 // rejected.
 func NewIncrementalGraph(g *graph.Graph, t float64, opts ParallelOptions) (*IncrementalSpanner, error) {
 	if !validStretch(t) {
-		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
+		return nil, errInvalidStretch(t)
 	}
 	if opts.Source != nil || opts.Materialize {
 		return nil, errSupplyOption
@@ -194,8 +215,11 @@ func NewIncrementalGraph(g *graph.Graph, t float64, opts ParallelOptions) (*Incr
 		s.counts.add(e.W)
 	}
 	h := graph.New(g.N())
-	if opts.Hubs > 0 {
-		s.oracle = NewHubOracle(SelectGraphHubs(s.g, opts.Hubs), h, 0)
+	st := s.graphScanStats()
+	hubs := opts.Hubs
+	resolveHubBudget(opts.Budget, st.degradationSink(), &hubs, g.N())
+	if hubs > 0 {
+		s.oracle = NewHubOracle(SelectGraphHubs(s.g, hubs), h, 0)
 	}
 	sc := &graphScan{
 		t:       t,
@@ -203,9 +227,12 @@ func NewIncrementalGraph(g *graph.Graph, t float64, opts ParallelOptions) (*Incr
 		h:       h,
 		oracle:  s.oracle,
 		res:     s.res,
-		stats:   s.graphScanStats(),
+		stats:   st,
+		env:     s.scanEnvFor(st.degradationSink()),
 	}
-	sc.run(newGraphEdgeSourceSeeded(s.g, opts.BucketPairs, s.counts), opts.BatchSize)
+	if err := sc.run(newGraphEdgeSourceSeeded(s.g, opts.BucketPairs, s.counts), opts.BatchSize); err != nil {
+		return nil, fmt.Errorf("core: incremental initial build aborted: %w", err)
+	}
 	return s, nil
 }
 
@@ -233,17 +260,29 @@ func (s *IncrementalSpanner) graphScanStats() *ParallelStats {
 // Result returns the maintained spanner, flushing any insertions a
 // coalescing policy deferred. The returned value is a snapshot: later
 // insertions build a fresh Result rather than mutating it, so it stays
-// valid (and must not be modified) after further Insert calls.
-func (s *IncrementalSpanner) Result() *Result {
-	s.Flush()
-	return s.res
+// valid (and must not be modified) after further Insert calls. On a flush
+// error the maintained pre-flush result is returned alongside it.
+func (s *IncrementalSpanner) Result() (*Result, error) {
+	if err := s.Flush(); err != nil {
+		return s.res, err
+	}
+	return s.res, nil
 }
 
 // Flush replays any pending insertions now. It is a no-op when nothing is
 // pending (in particular under the default replay-every-batch policy).
-func (s *IncrementalSpanner) Flush() {
+//
+// Flush is atomic: either the replay completes and the maintained result
+// advances to the union spanner, or — on cancellation, deadline, captured
+// panic, or a corrupted guarded row — the maintained result, metric, and
+// pending tally are exactly what they were before the call, and a typed
+// error is returned. The same pending insertions can then be flushed again
+// (for example under a fresh context via SetContext); cached rows and hub
+// state the aborted replay rebased remain proven on the preserved prefix,
+// so a retry is sound and loses no cache warmth.
+func (s *IncrementalSpanner) Flush() error {
 	if s.pendingCut == nil {
-		return
+		return nil
 	}
 	cut := *s.pendingCut
 	var n int
@@ -264,6 +303,7 @@ func (s *IncrementalSpanner) Flush() {
 	}
 	if s.m != nil {
 		s.bound.rebase(keep, n)
+		st := s.scanStats()
 		sc := &metricScan{
 			t:       s.t,
 			workers: s.mopts.Workers,
@@ -271,38 +311,56 @@ func (s *IncrementalSpanner) Flush() {
 			bound:   s.bound,
 			oracle:  s.oracle,
 			res:     res,
-			stats:   s.scanStats(),
+			stats:   st,
+			env:     s.scanEnvFor(st.degradationSink()),
 		}
-		sc.run(newMetricSourceAfter(s.pendingM, s.mopts.BucketPairs, cut, s.counts), s.mopts.BatchSize)
+		if err := sc.run(newMetricSourceAfter(s.pendingM, s.mopts.BucketPairs, cut, s.counts), s.mopts.BatchSize); err != nil {
+			return fmt.Errorf("core: flush of %d pending insertions aborted; pre-flush state preserved: %w", s.pendingInserted, err)
+		}
 		s.m, s.pendingM = s.pendingM, nil
 	} else {
+		st := s.graphScanStats()
 		sc := &graphScan{
 			t:       s.t,
 			workers: s.gopts.Workers,
 			h:       h,
 			oracle:  s.oracle,
 			res:     res,
-			stats:   s.graphScanStats(),
+			stats:   st,
+			env:     s.scanEnvFor(st.degradationSink()),
 		}
-		sc.run(newGraphEdgeSourceAfter(s.g, s.gopts.BucketPairs, cut, s.counts), s.gopts.BatchSize)
+		if err := sc.run(newGraphEdgeSourceAfter(s.g, s.gopts.BucketPairs, cut, s.counts), s.gopts.BatchSize); err != nil {
+			return fmt.Errorf("core: flush of %d pending insertions aborted; pre-flush state preserved: %w", s.pendingInserted, err)
+		}
 	}
 	s.res = res
 	s.pendingCut = nil
 	s.pendingInserted = 0
+	return nil
+}
+
+// scanEnvFor builds the run environment for one replay from the mode's
+// options (both modes share the incremental spanner's context).
+func (s *IncrementalSpanner) scanEnvFor(record func(string)) *scanEnv {
+	if s.m != nil {
+		return newScanEnv(s.mopts.Ctx, s.mopts.Budget, s.mopts.Inject, record)
+	}
+	return newScanEnv(s.gopts.Ctx, s.gopts.Budget, s.gopts.Inject, record)
 }
 
 // noteInserted folds one insertion batch's earliest scan position and
 // element count into the pending state and replays unless the policy
-// defers it.
-func (s *IncrementalSpanner) noteInserted(cut graph.Edge, inserted int) {
+// defers it. A replay error leaves the insertion pending (see Flush).
+func (s *IncrementalSpanner) noteInserted(cut graph.Edge, inserted int) error {
 	if s.pendingCut == nil || graph.EdgeLess(cut, *s.pendingCut) {
 		c := cut
 		s.pendingCut = &c
 	}
 	s.pendingInserted += inserted
 	if !s.policy.coalescing() || (s.policy.MinBatch > 0 && s.pendingInserted >= s.policy.MinBatch) {
-		s.Flush()
+		return s.Flush()
 	}
+	return nil
 }
 
 // Insert grows a metric-mode spanner with the points union appends to the
@@ -317,6 +375,10 @@ func (s *IncrementalSpanner) noteInserted(cut graph.Edge, inserted int) {
 // candidate stream is resumed at the first scan position any new pair
 // occupies (everything below it is preserved, never enumerated), and bound
 // rows untouched since that position certify their skips from cache.
+//
+// A non-nil error from a cancelled or faulted replay does NOT reject the
+// insertion: the points are recorded as pending and the pre-flush spanner
+// is preserved; Flush replays them once the fault clears.
 func (s *IncrementalSpanner) Insert(union metric.Metric) error {
 	if s.m == nil {
 		return fmt.Errorf("core: Insert on a graph-mode incremental spanner (use InsertEdges)")
@@ -353,8 +415,7 @@ func (s *IncrementalSpanner) Insert(union metric.Metric) error {
 		}
 	}
 	s.pendingM = union
-	s.noteInserted(cut, n-nOld)
-	return nil
+	return s.noteInserted(cut, n-nOld)
 }
 
 // InsertEdges grows a graph-mode spanner with the given edges (validated
@@ -386,8 +447,7 @@ func (s *IncrementalSpanner) InsertEdges(edges ...graph.Edge) error {
 		s.g.MustAddEdge(e.U, e.V, e.W)
 		s.counts.add(e.W)
 	}
-	s.noteInserted(cut, len(edges))
-	return nil
+	return s.noteInserted(cut, len(edges))
 }
 
 // prefixLen reports how many of the maintained accepted edges precede cut

@@ -19,6 +19,18 @@ type prefixMetric struct {
 	n int
 }
 
+// mustResult flushes and returns the maintained result, failing the test
+// on a replay error (none is expected in tests without a context, budget,
+// or injected fault).
+func mustResult(t testing.TB, s *IncrementalSpanner) *Result {
+	t.Helper()
+	res, err := s.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	return res
+}
+
 func (p prefixMetric) N() int                { return p.n }
 func (p prefixMetric) Dist(i, j int) float64 { return p.m.Dist(i, j) }
 
@@ -81,7 +93,7 @@ func TestIncrementalMetricMatchesFromScratch(t *testing.T) {
 						t.Fatal(err)
 					}
 					label := fmt.Sprintf("%s/t=%v/w=%d/k=%d", name, stretch, opts.Workers, k)
-					equalResults(t, label, want, inc.Result())
+					equalResults(t, label, want, mustResult(t, inc))
 				}
 				// Final state also matches the serial dense-matrix
 				// reference, a fully independent code path.
@@ -89,7 +101,7 @@ func TestIncrementalMetricMatchesFromScratch(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				equalResults(t, fmt.Sprintf("%s/t=%v/serial-ref", name, stretch), ref, inc.Result())
+				equalResults(t, fmt.Sprintf("%s/t=%v/serial-ref", name, stretch), ref, mustResult(t, inc))
 			}
 		}
 	}
@@ -125,7 +137,7 @@ func TestIncrementalMetricPermutedInsertionOrders(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		equalResults(t, fmt.Sprintf("permutation %d", trial), want, inc.Result())
+		equalResults(t, fmt.Sprintf("permutation %d", trial), want, mustResult(t, inc))
 	}
 }
 
@@ -155,7 +167,7 @@ func TestIncrementalMetricTies(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			equalResults(t, fmt.Sprintf("grid/w=%d/k=%d", workers, k), want, inc.Result())
+			equalResults(t, fmt.Sprintf("grid/w=%d/k=%d", workers, k), want, mustResult(t, inc))
 		}
 	}
 }
@@ -177,10 +189,10 @@ func TestIncrementalMetricInfiniteWeights(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		equalResults(t, fmt.Sprintf("inf/k=%d", k), want, inc.Result())
+		equalResults(t, fmt.Sprintf("inf/k=%d", k), want, mustResult(t, inc))
 	}
-	if inc.Result().EdgesExamined != 12*11/2 {
-		t.Fatalf("examined %d pairs, want %d (the +Inf pair included)", inc.Result().EdgesExamined, 12*11/2)
+	if mustResult(t, inc).EdgesExamined != 12*11/2 {
+		t.Fatalf("examined %d pairs, want %d (the +Inf pair included)", mustResult(t, inc).EdgesExamined, 12*11/2)
 	}
 }
 
@@ -216,7 +228,7 @@ func TestIncrementalGraphMatchesFromScratch(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				equalResults(t, fmt.Sprintf("%s/t=%v/w=%d", name, stretch, workers), want, inc.Result())
+				equalResults(t, fmt.Sprintf("%s/t=%v/w=%d", name, stretch, workers), want, mustResult(t, inc))
 			}
 		}
 	}
@@ -245,7 +257,7 @@ func TestIncrementalReplaySkipsPreservedWork(t *testing.T) {
 	if err := inc.Insert(withPoint(m, []float64{25, 25})); err != nil {
 		t.Fatal(err)
 	}
-	if got := inc.Result().Size(); got == 0 {
+	if got := mustResult(t, inc).Size(); got == 0 {
 		t.Fatal("far point produced no edges")
 	}
 	fullRefreshes := fullStats.SerialRefreshes + fullStats.ParallelRefreshes
@@ -272,8 +284,8 @@ func TestIncrementalCachedRowsSurvive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if inc.Result().Size() != 39 {
-		t.Fatalf("path spanner has %d edges, want 39", inc.Result().Size())
+	if mustResult(t, inc).Size() != 39 {
+		t.Fatalf("path spanner has %d edges, want 39", mustResult(t, inc).Size())
 	}
 	// The new endpoint is 1.7 away: the cut lands above the weight-1 path
 	// edges, so every old pair with weight >= 2 is re-examined — and must
@@ -294,7 +306,7 @@ func TestIncrementalCachedRowsSurvive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	equalResults(t, "path+heavy-point", want, inc.Result())
+	equalResults(t, "path+heavy-point", want, mustResult(t, inc))
 }
 
 // withPoint returns the Euclidean metric of m's points plus p.
@@ -339,7 +351,7 @@ func TestIncrementalValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := ginc.Result().Size()
+	before := mustResult(t, ginc).Size()
 	for _, bad := range []graph.Edge{
 		{U: 0, V: 3, W: 1},
 		{U: 1, V: 1, W: 1},
@@ -350,7 +362,7 @@ func TestIncrementalValidation(t *testing.T) {
 			t.Fatalf("bad edge %+v accepted", bad)
 		}
 	}
-	if ginc.Result().Size() != before {
+	if mustResult(t, ginc).Size() != before {
 		t.Fatal("failed insertion mutated the maintained spanner")
 	}
 	if err := ginc.Insert(m); err == nil {
@@ -381,7 +393,7 @@ func TestIncrementalFromEmpty(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		equalResults(t, fmt.Sprintf("start=%d", start), want, inc.Result())
+		equalResults(t, fmt.Sprintf("start=%d", start), want, mustResult(t, inc))
 	}
 }
 
@@ -394,7 +406,7 @@ func TestIncrementalResultIsSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snap := inc.Result()
+	snap := mustResult(t, inc)
 	size, weight, examined := snap.Size(), snap.Weight, snap.EdgesExamined
 	if err := inc.Insert(m); err != nil {
 		t.Fatal(err)
@@ -402,7 +414,7 @@ func TestIncrementalResultIsSnapshot(t *testing.T) {
 	if snap.Size() != size || snap.Weight != weight || snap.EdgesExamined != examined {
 		t.Fatal("insertion mutated a previously returned Result")
 	}
-	if inc.Result() == snap {
+	if mustResult(t, inc) == snap {
 		t.Fatal("insertion did not produce a fresh Result")
 	}
 }

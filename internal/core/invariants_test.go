@@ -175,7 +175,7 @@ func TestIncrementalMaintainsInvariants(t *testing.T) {
 		if err := inc.Insert(subMetric(m, k)); err != nil {
 			t.Fatal(err)
 		}
-		res := inc.Result()
+		res := mustResult(t, inc)
 		if res.N != k {
 			t.Fatalf("k=%d: result spans %d points", k, res.N)
 		}

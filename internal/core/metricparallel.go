@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -53,6 +54,24 @@ type MetricParallelOptions struct {
 	// Stats, when non-nil, is filled with engine counters for ablations
 	// and benchmarks.
 	Stats *MetricParallelStats
+	// Ctx, when non-nil, makes the build cancellable: cancellation is
+	// checked at batch boundaries, inside the row-refresh fan-out, and
+	// before every serial decision, and a cancelled build returns the
+	// clean prefix Result (Partial set) with a typed ErrCancelled.
+	Ctx context.Context
+	// Budget bounds the run's resources; see Budget. Degradation steps
+	// land in Stats.Degradations.
+	Budget Budget
+	// Inject installs fault-injection hooks (see InjectionHooks); nil
+	// hooks cost nothing. Exposed for the internal/chaos harness.
+	Inject InjectionHooks
+	// GuardRows arms per-row checksums on the sparse bound store: every
+	// read-modify of a row and every skip certified from a cached bound
+	// first verifies the row's checksum, so a corrupted entry (a bit
+	// flip, simulated or real) surfaces as a typed ErrCorruptState
+	// instead of silently certifying a wrong skip. Off by default; the
+	// guarded paths cost O(n) per row operation.
+	GuardRows bool
 }
 
 // MetricParallelStats reports how the batched metric engine spent its
@@ -104,6 +123,11 @@ type MetricParallelStats struct {
 	HubQueries int
 	HubSkips   int
 	HubRelaxed int
+	// Degradations logs, in order, each step the engine took down the
+	// resource-budget ladder (supply streamed, batch width floored, hub
+	// oracle dropped, cached rows dropped, ...). Empty for unbudgeted or
+	// in-budget runs. Every logged step is output-invariant.
+	Degradations []string
 }
 
 // boundStore is the sparse replacement for the dense n x n float64 bound
@@ -133,6 +157,16 @@ type boundStore struct {
 	// instead of reallocating the whole row set per insertion. Zero for
 	// one-shot builds, which never grow.
 	slack int
+	// guard arms per-row checksums (GuardRows): sums[u] is the FNV-1a
+	// digest of row u, recomputed after every legitimate write and
+	// verified before any read-modify of the row and before any skip is
+	// certified from its cached bounds. A write that bypasses the store
+	// (a bit flip) therefore surfaces as ErrCorruptState at the next
+	// guarded access instead of silently certifying a wrong skip.
+	// Verify-before-fold ordering matters: folding first and recomputing
+	// the digest would launder the corruption into a valid checksum.
+	guard bool
+	sums  []uint64
 }
 
 // inf16 is +Inf in the bfloat16 encoding (high 16 bits of float32 +Inf).
@@ -194,6 +228,10 @@ func (b *boundStore) row(u int) []uint16 {
 		}
 		ru[u] = 0
 		b.rows[u] = ru
+		if b.guard {
+			// The slot's digest, like the slot, has exactly one owner.
+			b.sums[u] = sumRow(ru)
+		}
 	}
 	return ru
 }
@@ -210,13 +248,77 @@ func (b *boundStore) countRows() int {
 	return allocated
 }
 
+// setGuard arms the per-row checksums, digesting any rows already
+// materialized. Safe only from serial sections.
+func (b *boundStore) setGuard() {
+	b.guard = true
+	b.sums = make([]uint64, len(b.rows))
+	for u, ru := range b.rows {
+		if ru != nil {
+			b.sums[u] = sumRow(ru)
+		}
+	}
+}
+
+// sumRow is the deterministic FNV-1a digest of one bound row.
+func sumRow(row []uint16) uint64 {
+	h := uint64(1469598103934665603)
+	for _, x := range row {
+		h ^= uint64(x)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// verifyRow checks u's checksum in guard mode; a mismatch means the row
+// no longer matches what was proven into it.
+func (b *boundStore) verifyRow(u int) error {
+	if !b.guard || b.rows[u] == nil {
+		return nil
+	}
+	if sumRow(b.rows[u]) != b.sums[u] {
+		return fmt.Errorf("%w: bound row %d fails its checksum", ErrCorruptState, u)
+	}
+	return nil
+}
+
+// verifyPair guards a skip about to be certified from cached bounds: both
+// endpoint rows (the two sources get consults) must pass their checksums.
+func (b *boundStore) verifyPair(u, v int) error {
+	if !b.guard {
+		return nil
+	}
+	if err := b.verifyRow(u); err != nil {
+		return err
+	}
+	return b.verifyRow(v)
+}
+
+// clear drops every cached row (the budget ladder's last metric-side
+// step); the cache is only an accelerator, so dropping it cannot change
+// any decision.
+func (b *boundStore) clear() {
+	for u := range b.rows {
+		b.rows[u] = nil
+		b.epochs[u] = 0
+		if b.guard {
+			b.sums[u] = 0
+		}
+	}
+}
+
 // foldRow folds an exact distance row into u's cached bound row,
 // tightening entries that improved. epoch is the accepted-edge count of
 // the spanner the distances were computed on; the row keeps the largest
 // epoch folded into it (entries proven on shorter prefixes are looser,
-// hence still valid upper bounds at the larger epoch).
-func (b *boundStore) foldRow(u int, dist []float64, epoch int) {
+// hence still valid upper bounds at the larger epoch). In guard mode the
+// row is verified before the fold — never after, which would launder a
+// corrupted entry into a freshly valid checksum — and re-digested after.
+func (b *boundStore) foldRow(u int, dist []float64, epoch int) error {
 	ru := b.row(u)
+	if err := b.verifyRow(u); err != nil {
+		return err
+	}
 	for v, d := range dist {
 		if f := enc16up(d); f < ru[v] {
 			ru[v] = f
@@ -225,18 +327,30 @@ func (b *boundStore) foldRow(u int, dist []float64, epoch int) {
 	if epoch > b.epochs[u] {
 		b.epochs[u] = epoch
 	}
+	if b.guard {
+		b.sums[u] = sumRow(ru)
+	}
+	return nil
 }
 
 // set records an accepted edge's weight as a bound on its endpoints.
-// epoch is the accepted-edge count including the edge itself.
-func (b *boundStore) set(u, v int, w float64, epoch int) {
+// epoch is the accepted-edge count including the edge itself. Guard mode
+// verifies before the write, exactly as foldRow does.
+func (b *boundStore) set(u, v int, w float64, epoch int) error {
 	ru := b.row(u)
+	if err := b.verifyRow(u); err != nil {
+		return err
+	}
 	if f := enc16up(w); f < ru[v] {
 		ru[v] = f
 	}
 	if epoch > b.epochs[u] {
 		b.epochs[u] = epoch
 	}
+	if b.guard {
+		b.sums[u] = sumRow(ru)
+	}
+	return nil
 }
 
 // rebase prepares the store for an incremental replay that restarts from
@@ -257,6 +371,15 @@ func (b *boundStore) rebase(keep, n int) {
 	for u := range b.rows {
 		ru := b.rows[u]
 		if ru == nil {
+			continue
+		}
+		if b.guard && sumRow(ru) != b.sums[u] {
+			// The row was corrupted since its last digest and never
+			// consulted. Migrating it would launder the corruption into a
+			// fresh checksum; dropping it is sound — a dropped row is
+			// merely unproven and is rebuilt on demand.
+			b.rows[u] = nil
+			b.epochs[u] = 0
 			continue
 		}
 		stale := b.epochs[u] > keep
@@ -291,6 +414,28 @@ func (b *boundStore) rebase(keep, n int) {
 		b.rows = append(b.rows, nil)
 		b.epochs = append(b.epochs, 0)
 	}
+	if b.guard {
+		b.sums = make([]uint64, n)
+		for u, ru := range b.rows {
+			if ru != nil {
+				b.sums[u] = sumRow(ru)
+			}
+		}
+	}
+}
+
+// rowCorrupter is the Corrupter handle the metric engines hand to the
+// OnBatch injection hook: FlipRowBit flips one bit of a materialized
+// bound-row entry without updating the row's checksum — the simulated
+// memory fault the guard checksums exist to catch.
+type rowCorrupter struct{ b *boundStore }
+
+func (c rowCorrupter) FlipRowBit(u, v int, bit uint) bool {
+	if u < 0 || u >= len(c.b.rows) || c.b.rows[u] == nil || v < 0 || v >= len(c.b.rows[u]) {
+		return false
+	}
+	c.b.rows[u][v] ^= 1 << (bit % 16)
+	return true
 }
 
 // boundRowSlack is the growth headroom a maintained store reserves per
@@ -333,7 +478,7 @@ func GreedyMetricFastParallel(m metric.Metric, t float64, workers int) (*Result,
 // batching and supply controls; see MetricParallelOptions.
 func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParallelOptions) (*Result, error) {
 	if !validStretch(t) {
-		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
+		return nil, errInvalidStretch(t)
 	}
 	stats := opts.Stats
 	if stats == nil {
@@ -346,12 +491,19 @@ func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParalle
 	if n <= 1 {
 		return res, nil
 	}
+	env := newScanEnv(opts.Ctx, opts.Budget, opts.Inject, func(step string) {
+		stats.Degradations = append(stats.Degradations, step)
+	})
 	src := opts.Source
 	if src == nil {
-		if opts.Materialize {
+		materialize, bucketPairs := opts.Materialize, opts.BucketPairs
+		if env != nil {
+			resolveSupplyBudget(opts.Budget, env.record, &materialize, &bucketPairs, n*(n-1)/2)
+		}
+		if materialize {
 			src = NewMaterializedSource(sortedPairs(m))
 		} else {
-			src = NewMetricSource(m, opts.BucketPairs)
+			src = NewMetricSource(m, bucketPairs)
 		}
 	}
 	h := graph.New(n)
@@ -362,12 +514,19 @@ func GreedyMetricFastParallelOpts(m metric.Metric, t float64, opts MetricParalle
 		bound:   newBoundStore(n),
 		res:     res,
 		stats:   stats,
+		env:     env,
 	}
-	if opts.Hubs > 0 {
-		sc.oracle = NewHubOracle(SelectMetricHubs(m, opts.Hubs), h, 0)
+	if opts.GuardRows {
+		sc.bound.setGuard()
 	}
-	sc.run(src, opts.BatchSize)
-	return res, nil
+	hubs := opts.Hubs
+	if env != nil {
+		resolveHubBudget(opts.Budget, env.record, &hubs, n)
+	}
+	if hubs > 0 {
+		sc.oracle = NewHubOracle(SelectMetricHubs(m, hubs), h, 0)
+	}
+	return res, sc.run(src, opts.BatchSize)
 }
 
 // metricScan bundles the state of one batched cached-bound greedy scan:
@@ -387,6 +546,9 @@ type metricScan struct {
 	oracle *HubOracle
 	res    *Result
 	stats  *MetricParallelStats
+	// env, when non-nil, carries the run's cancellation, budget, and
+	// fault-injection state; nil reproduces the pre-robustness engine.
+	env *scanEnv
 }
 
 // hubRefreshRadiusFactor scales the bounded row refreshes of a hub-enabled
@@ -400,22 +562,41 @@ const hubRefreshRadiusFactor = 2
 
 // run drains src through the batched-certification scan, appending every
 // accept to the scan's result; batchSize <= 0 selects adaptive batching.
-// On return the stats are final and any candidates a cut-resumed source
-// suppressed are folded into EdgesExamined, so a resumed scan accounts
-// for exactly the candidates a full scan examines.
-func (sc *metricScan) run(src CandidateSource, batchSize int) {
-	t, h, bound, oracle, res, stats := sc.t, sc.h, sc.bound, sc.oracle, sc.res, sc.stats
+// On clean completion the returned error is nil, the stats are final, and
+// any candidates a cut-resumed source suppressed are folded into
+// EdgesExamined, so a resumed scan accounts for exactly the candidates a
+// full scan examines. On cancellation, deadline, captured panic, injected
+// fault, or a guarded checksum failure the scan stops committing
+// immediately: the result holds the exact decided prefix of the reference
+// edge sequence (Partial set) and a typed error is returned. Every worker
+// is joined before any batch outcome is inspected, so no goroutine
+// outlives run on any path, and no decision derived from a
+// possibly-truncated search or an unverified cached bound is committed.
+func (sc *metricScan) run(src CandidateSource, batchSize int) (err error) {
+	t, h, bound, res, stats, env := sc.t, sc.h, sc.bound, sc.res, sc.stats, sc.env
+	oracle := sc.oracle
+	defer func() {
+		if p := recover(); p != nil {
+			err = panicErr(p)
+		}
+		if err != nil {
+			res.Partial = true
+		}
+	}()
 	workers := sc.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := h.N()
 	serial := graph.NewSearcher(n)
+	stop := env.stopFn()
+	serial.SetStop(stop)
 	row := make([]float64, n)
 	relaxed0 := 0
 	if oracle != nil {
 		relaxed0 = oracle.Relaxed()
 	}
+	var corrupter Corrupter = rowCorrupter{b: bound}
 
 	// refreshExact recomputes row u against the live spanner, folds it
 	// into the bound store, and returns the exact distance to v — the
@@ -423,41 +604,45 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 	// bounded: every settled distance is exact, unreached entries stay
 	// +Inf, and the decision only needs to know the distance up to limit,
 	// so the returned value decides the pair exactly either way.
-	refreshExact := func(u, v int, limit float64) float64 {
+	refreshExact := func(u, v int, limit float64) (float64, error) {
 		if oracle != nil {
 			serial.BoundedDistances(h, u, hubRefreshRadiusFactor*limit, row)
 		} else {
 			serial.Distances(h, u, row)
 		}
-		bound.foldRow(u, row, len(res.Edges))
+		if ferr := bound.foldRow(u, row, len(res.Edges)); ferr != nil {
+			return 0, ferr
+		}
 		stats.SerialRefreshes++
 		stats.RefreshTouched += serial.LastTouched()
-		return row[v]
+		return row[v], nil
 	}
 	// hubCertify answers one certification query from the hub labels and
 	// pre-seeds the pair's bound row with the certified bound (stamped
 	// with the epoch it was proven at), so the cache layer and the oracle
 	// compound: the next pair out of u at this scale certifies from the
 	// row without even the O(k) hub scan.
-	hubCertify := func(u, v int, limit float64) bool {
+	hubCertify := func(u, v int, limit float64) (bool, error) {
 		stats.HubQueries++
 		b, ok := oracle.Certify(u, v, limit)
 		if !ok {
-			return false
+			return false, nil
 		}
 		stats.HubSkips++
-		bound.set(u, v, b, oracle.Epoch())
-		return true
+		return true, bound.set(u, v, b, oracle.Epoch())
 	}
-	accept := func(e graph.Edge) {
+	accept := func(e graph.Edge) error {
 		h.MustAddEdge(e.U, e.V, e.W)
 		res.Edges = append(res.Edges, e)
 		res.Weight += e.W
-		bound.set(e.U, e.V, e.W, len(res.Edges))
+		if serr := bound.set(e.U, e.V, e.W, len(res.Edges)); serr != nil {
+			return serr
+		}
 		if oracle != nil {
 			oracle.OnAccept(e)
 		}
 		stats.Kept++
+		return nil
 	}
 	finish := func() {
 		stats.RowsAllocated = bound.countRows()
@@ -470,39 +655,107 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 			stats.HubRelaxed = oracle.Relaxed() - relaxed0
 		}
 	}
+	// checkBudget walks the in-scan degradation ladder at batch
+	// boundaries under a byte budget: floor the batch width (sticky, via
+	// the env's width cap), then drop the hub oracle, then drop the
+	// cached bound rows, then record exhaustion once. Every step is
+	// output-invariant — the cache and the oracle only accelerate
+	// decisions the exact searches re-derive.
+	rowsDropped := false
+	checkBudget := func(batch int) int {
+		if env == nil || env.budget.MaxBytes <= 0 {
+			return batch
+		}
+		est := searcherPoolBytes(workers, n) + int64(batch)*edgeBytes +
+			int64(bound.countRows())*int64(n)*boundRowBytesPerVertex
+		if bs, ok := src.(*bucketedSource); ok {
+			est += int64(bs.PeakBucket()) * edgeBytes
+		}
+		if oracle != nil {
+			est += hubBytes(len(oracle.Hubs()), n)
+		}
+		switch {
+		case est <= env.budget.MaxBytes:
+		case batch > minBatch:
+			batch = minBatch
+			env.budget.MaxBatchWidth = minBatch
+			env.record(fmt.Sprintf("batch width floored to %d under byte budget", minBatch))
+		case oracle != nil:
+			env.record(fmt.Sprintf("hub oracle (%d hubs) dropped under byte budget", len(oracle.Hubs())))
+			oracle = nil
+		case !rowsDropped:
+			rowsDropped = true
+			env.record(fmt.Sprintf("cached bound rows (%d) dropped under byte budget", bound.countRows()))
+			bound.clear()
+		case !env.exhausted:
+			env.exhausted = true
+			env.record("byte budget exhausted; no degradation steps remain")
+		}
+		return batch
+	}
 
 	if workers == 1 {
 		// Serial fast path: the cached-bound scan with reusable scratch,
-		// no snapshot pass; the supply is still streamed.
-		chunk := batchSize
+		// no snapshot pass; the supply is still streamed. Cancellation is
+		// checked at batch boundaries and after each exact search, before
+		// the decision it feeds is committed.
+		chunk := env.clampBatch(batchSize)
 		if chunk <= 0 {
-			chunk = maxBatch
+			chunk = env.clampBatch(maxBatch)
 		}
-		for {
+		for batchNo := 0; ; batchNo++ {
+			if cerr := env.cancelled(); cerr != nil {
+				return cerr
+			}
+			env.onBatch(batchNo, corrupter)
 			pairs := src.NextBatch(chunk)
 			if len(pairs) == 0 {
 				break
 			}
-			res.EdgesExamined += len(pairs)
 			for _, e := range pairs {
 				limit := t * e.W
+				env.onCertify(e)
 				if bound.get(e.U, e.V) <= limit {
+					if verr := bound.verifyPair(e.U, e.V); verr != nil {
+						return verr
+					}
 					stats.CachedSkips++
+					res.EdgesExamined++
 					continue
 				}
-				if oracle != nil && hubCertify(e.U, e.V, limit) {
-					continue
+				if oracle != nil {
+					ok, herr := hubCertify(e.U, e.V, limit)
+					if herr != nil {
+						return herr
+					}
+					if ok {
+						res.EdgesExamined++
+						continue
+					}
 				}
-				if refreshExact(e.U, e.V, limit) <= limit {
+				d, rerr := refreshExact(e.U, e.V, limit)
+				if rerr != nil {
+					return rerr
+				}
+				if env.active() {
+					if cerr := env.cancelled(); cerr != nil {
+						return cerr
+					}
+				}
+				if d <= limit {
 					stats.SerialSkips++
+					res.EdgesExamined++
 					continue
 				}
-				accept(e)
+				if aerr := accept(e); aerr != nil {
+					return aerr
+				}
+				res.EdgesExamined++
 			}
 		}
 		stats.FinalBatchSize = serialBatchStat(batchSize, res.EdgesExamined)
 		finish()
-		return
+		return nil
 	}
 
 	pool := make([]*graph.Searcher, workers)
@@ -510,8 +763,13 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 	touchedBy := make([]int, workers)
 	for i := range pool {
 		pool[i] = graph.NewSearcher(n)
+		pool[i].SetStop(stop)
 		rows[i] = make([]float64, n)
 	}
+	// errs holds one slot per worker: a captured panic, a cancellation
+	// bail-out, or a guarded checksum failure. Slots are written by their
+	// owning worker only and read after the join.
+	errs := make([]error, workers)
 	var (
 		cached []bool
 		// exact[i] is pair i's exact snapshot distance, filled in phase 1
@@ -532,18 +790,21 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 	}
 	srcAt := make([]int, n)
 
-	batch := batchSize
-	adaptive := batch <= 0
+	batch := env.clampBatch(batchSize)
+	adaptive := batchSize <= 0
 	if adaptive {
-		batch = initialBatch(workers)
+		batch = env.clampBatch(initialBatch(workers))
 	}
 
 	for {
+		if cerr := env.cancelled(); cerr != nil {
+			return cerr
+		}
+		env.onBatch(stats.Batches, corrupter)
 		pairs := src.NextBatch(batch)
 		if len(pairs) == 0 {
 			break
 		}
-		res.EdgesExamined += len(pairs)
 		round := stats.Batches
 		stats.Batches++
 		if len(pairs) > len(cached) {
@@ -558,12 +819,21 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 		for i, e := range pairs {
 			limit := t * e.W
 			if cached[i] = bound.get(e.U, e.V) <= limit; cached[i] {
+				if verr := bound.verifyPair(e.U, e.V); verr != nil {
+					return verr
+				}
 				stats.CachedSkips++
 				continue
 			}
-			if oracle != nil && hubCertify(e.U, e.V, limit) {
-				cached[i] = true
-				continue
+			if oracle != nil {
+				ok, herr := hubCertify(e.U, e.V, limit)
+				if herr != nil {
+					return herr
+				}
+				if ok {
+					cached[i] = true
+					continue
+				}
 			}
 			if inBatch[e.U] != round {
 				inBatch[e.U] = round
@@ -590,7 +860,9 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 		// snapshot distances (disjoint exact[i] slots), so the only
 		// synchronization needed is the join. The rows are stamped with
 		// the snapshot's accepted-edge count — the prefix their bounds
-		// are proven on.
+		// are proven on. A worker converts its own panic into a typed
+		// error and bails out early on cancellation or a checksum
+		// failure; either way it reaches wg.Done, so the pool drains.
 		snapEdges := len(res.Edges)
 		var wg sync.WaitGroup
 		chunk := (len(sources) + workers - 1) / workers
@@ -602,8 +874,20 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 			wg.Add(1)
 			go func(w int, search *graph.Searcher, scratch []float64, start, end int) {
 				defer wg.Done()
+				defer func() {
+					if p := recover(); p != nil {
+						errs[w] = panicErr(p)
+					}
+				}()
 				for k := start; k < end; k++ {
+					if env.active() {
+						if cerr := env.cancelled(); cerr != nil {
+							errs[w] = cerr
+							return
+						}
+					}
 					u := sources[k]
+					env.onCertify(pairs[srcPairs[k][0]])
 					if oracle != nil {
 						// Bounded refresh: the radius covers every one of
 						// this row's batch pairs, so each recorded exact[i]
@@ -613,7 +897,10 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 					} else {
 						search.Distances(h, u, scratch)
 					}
-					bound.foldRow(u, scratch, snapEdges)
+					if ferr := bound.foldRow(u, scratch, snapEdges); ferr != nil {
+						errs[w] = ferr
+						return
+					}
 					touchedBy[w] += search.LastTouched()
 					for _, i := range srcPairs[k] {
 						exact[i] = scratch[pairs[i].V]
@@ -622,6 +909,16 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 			}(w, pool[w], rows[w], start, end)
 		}
 		wg.Wait()
+		if werr := firstWorkerErr(errs); werr != nil {
+			return werr
+		}
+		// Abandon the whole batch on cancellation: no decision was
+		// committed yet, and the exact[] snapshot distances may rest on
+		// truncated searches (the predicates are monotone, so passing
+		// this check proves no phase-1 search was cut short).
+		if cerr := env.cancelled(); cerr != nil {
+			return cerr
+		}
 		stats.ParallelRefreshes += len(sources)
 		for w := range touchedBy {
 			stats.RefreshTouched += touchedBy[w]
@@ -633,28 +930,48 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 		// the frozen snapshot, so the exact snapshot distance recorded in
 		// phase 1 already is the exact live distance; afterwards each
 		// survivor re-runs the exact refresh against the live spanner —
-		// exactly the serial scan's decision.
+		// exactly the serial scan's decision. Each candidate is folded
+		// into EdgesExamined as its decision commits, so an abort
+		// mid-batch leaves the exact decided count.
 		survivors := 0
 		acceptedInBatch := false
 		for i, e := range pairs {
 			if cached[i] {
+				res.EdgesExamined++
 				continue
 			}
 			limit := t * e.W
 			if bound.get(e.U, e.V) <= limit {
+				if verr := bound.verifyPair(e.U, e.V); verr != nil {
+					return verr
+				}
 				stats.CertifiedSkips++
+				res.EdgesExamined++
 				continue
 			}
 			survivors++
 			d := exact[i]
 			if acceptedInBatch {
-				d = refreshExact(e.U, e.V, limit)
+				var rerr error
+				d, rerr = refreshExact(e.U, e.V, limit)
+				if rerr != nil {
+					return rerr
+				}
+				if env.active() {
+					if cerr := env.cancelled(); cerr != nil {
+						return cerr
+					}
+				}
 			}
 			if d <= limit {
 				stats.SerialSkips++
+				res.EdgesExamined++
 				continue
 			}
-			accept(e)
+			if aerr := accept(e); aerr != nil {
+				return aerr
+			}
+			res.EdgesExamined++
 			acceptedInBatch = true
 		}
 
@@ -662,11 +979,13 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) {
 		// boundary says nothing about snapshot staleness, the signal the
 		// policy tracks.
 		if adaptive && len(pairs) == batch {
-			batch = adaptBatch(batch, survivors, len(pairs))
+			batch = env.clampBatch(adaptBatch(batch, survivors, len(pairs)))
 		}
+		batch = checkBudget(batch)
 	}
 	stats.FinalBatchSize = batch
 	finish()
+	return nil
 }
 
 // sortedPairs materializes all n(n-1)/2 interpoint distances of m as edges

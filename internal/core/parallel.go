@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -46,6 +47,17 @@ type ParallelOptions struct {
 	// Stats, when non-nil, is filled with engine counters for ablations
 	// and benchmarks.
 	Stats *ParallelStats
+	// Ctx, when non-nil, makes the build cancellable: cancellation is
+	// checked at batch boundaries, inside the certification fan-out, and
+	// before every serial decision, and a cancelled build returns the
+	// clean prefix Result (Partial set) with a typed ErrCancelled.
+	Ctx context.Context
+	// Budget bounds the run's resources; see Budget. Degradation steps
+	// land in Stats.Degradations.
+	Budget Budget
+	// Inject installs fault-injection hooks (see InjectionHooks); nil
+	// hooks cost nothing. Exposed for the internal/chaos harness.
+	Inject InjectionHooks
 }
 
 // ParallelStats reports how the batched engine spent its effort.
@@ -76,6 +88,12 @@ type ParallelStats struct {
 	HubQueries int
 	HubSkips   int
 	HubRelaxed int
+	// Degradations logs, in order, each step the engine took down the
+	// resource-budget ladder (supply streamed, batch width floored, hub
+	// oracle dropped, ...). Empty for unbudgeted or in-budget runs. Every
+	// logged step is output-invariant: it changes speed and memory, never
+	// the spanner.
+	Degradations []string
 }
 
 // Batch-width bounds for the adaptive policy.
@@ -149,22 +167,29 @@ func GreedyGraphParallel(g *graph.Graph, t float64, workers int) (*Result, error
 // and supply controls; see ParallelOptions.
 func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*Result, error) {
 	if !validStretch(t) {
-		return nil, fmt.Errorf("core: stretch %v out of range [1, inf)", t)
+		return nil, errInvalidStretch(t)
 	}
 	n := g.N()
-	src := opts.Source
-	if src == nil {
-		if opts.Materialize {
-			src = NewMaterializedSource(g.SortedEdges())
-		} else {
-			src = NewGraphEdgeSource(g, opts.BucketPairs)
-		}
-	}
 	stats := opts.Stats
 	if stats == nil {
 		stats = &ParallelStats{}
 	}
 	*stats = ParallelStats{}
+	env := newScanEnv(opts.Ctx, opts.Budget, opts.Inject, func(step string) {
+		stats.Degradations = append(stats.Degradations, step)
+	})
+	src := opts.Source
+	if src == nil {
+		materialize, bucketPairs := opts.Materialize, opts.BucketPairs
+		if env != nil {
+			resolveSupplyBudget(opts.Budget, env.record, &materialize, &bucketPairs, g.M())
+		}
+		if materialize {
+			src = NewMaterializedSource(g.SortedEdges())
+		} else {
+			src = NewGraphEdgeSource(g, bucketPairs)
+		}
+	}
 	res := &Result{N: n, Stretch: t}
 	h := graph.New(n)
 	sc := &graphScan{
@@ -173,12 +198,16 @@ func GreedyGraphParallelOpts(g *graph.Graph, t float64, opts ParallelOptions) (*
 		h:       h,
 		res:     res,
 		stats:   stats,
+		env:     env,
 	}
-	if opts.Hubs > 0 {
-		sc.oracle = NewHubOracle(SelectGraphHubs(g, opts.Hubs), h, 0)
+	hubs := opts.Hubs
+	if env != nil {
+		resolveHubBudget(opts.Budget, env.record, &hubs, n)
 	}
-	sc.run(src, opts.BatchSize)
-	return res, nil
+	if hubs > 0 {
+		sc.oracle = NewHubOracle(SelectGraphHubs(g, hubs), h, 0)
+	}
+	return res, sc.run(src, opts.BatchSize)
 }
 
 // graphScan bundles the state of one batched greedy graph scan: the
@@ -194,20 +223,42 @@ type graphScan struct {
 	oracle *HubOracle
 	res    *Result
 	stats  *ParallelStats
+	// env, when non-nil, carries the run's cancellation, budget, and
+	// fault-injection state; nil reproduces the pre-robustness engine.
+	env *scanEnv
 }
 
 // run drains src through the batched-certification scan, appending every
 // accept to the scan's result; batchSize <= 0 selects adaptive batching.
-// On return any candidates a cut-resumed source suppressed are folded
-// into EdgesExamined.
-func (sc *graphScan) run(src CandidateSource, batchSize int) {
-	t, h, oracle, res, stats := sc.t, sc.h, sc.oracle, sc.res, sc.stats
+// On clean completion the returned error is nil and any candidates a
+// cut-resumed source suppressed are folded into EdgesExamined. On
+// cancellation, deadline, captured panic, or injected fault the scan
+// stops committing immediately: the result holds the exact decided
+// prefix of the reference edge sequence (Partial set) and a typed error
+// is returned. Every worker is joined before any batch outcome is
+// inspected, so no goroutine outlives run on any path, and no decision
+// derived from a possibly-truncated search is ever committed (the
+// cancellation predicates are monotone, so "not cancelled after the
+// join" proves no search in the joined batch was cut short).
+func (sc *graphScan) run(src CandidateSource, batchSize int) (err error) {
+	t, h, res, stats, env := sc.t, sc.h, sc.res, sc.stats, sc.env
+	oracle := sc.oracle
+	defer func() {
+		if p := recover(); p != nil {
+			err = panicErr(p)
+		}
+		if err != nil {
+			res.Partial = true
+		}
+	}()
 	workers := sc.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := h.N()
 	serial := graph.NewSearcher(n)
+	stop := env.stopFn()
+	serial.SetStop(stop)
 	relaxed0 := 0
 	if oracle != nil {
 		relaxed0 = oracle.Relaxed()
@@ -243,55 +294,109 @@ func (sc *graphScan) run(src CandidateSource, batchSize int) {
 			stats.HubRelaxed = oracle.Relaxed() - relaxed0
 		}
 	}
+	// checkBudget walks the in-scan degradation ladder at batch
+	// boundaries under a byte budget: floor the batch width (sticky, via
+	// the env's width cap), then drop the hub oracle, then record
+	// exhaustion once. Every step is output-invariant.
+	checkBudget := func(batch int) int {
+		if env == nil || env.budget.MaxBytes <= 0 {
+			return batch
+		}
+		est := searcherPoolBytes(workers, n) + int64(batch)*edgeBytes
+		if bs, ok := src.(*bucketedSource); ok {
+			est += int64(bs.PeakBucket()) * edgeBytes
+		}
+		if oracle != nil {
+			est += hubBytes(len(oracle.Hubs()), n)
+		}
+		switch {
+		case est <= env.budget.MaxBytes:
+		case batch > minBatch:
+			batch = minBatch
+			env.budget.MaxBatchWidth = minBatch
+			env.record(fmt.Sprintf("batch width floored to %d under byte budget", minBatch))
+		case oracle != nil:
+			env.record(fmt.Sprintf("hub oracle (%d hubs) dropped under byte budget", len(oracle.Hubs())))
+			oracle = nil
+		case !env.exhausted:
+			env.exhausted = true
+			env.record("byte budget exhausted; no degradation steps remain")
+		}
+		return batch
+	}
 
 	if workers == 1 {
 		// Serial fast path: no snapshot pass, every edge tested once
 		// against the live spanner, exactly like GreedyGraph but with the
 		// bidirectional primitive; the supply is still streamed.
-		chunk := batchSize
+		// Cancellation is checked at batch boundaries and after each
+		// search, before the decision it feeds is committed, so the
+		// result is always an exact decided prefix.
+		chunk := env.clampBatch(batchSize)
 		if chunk <= 0 {
-			chunk = maxBatch
+			chunk = env.clampBatch(maxBatch)
 		}
-		for {
+		for batchNo := 0; ; batchNo++ {
+			if cerr := env.cancelled(); cerr != nil {
+				return cerr
+			}
+			env.onBatch(batchNo, nil)
 			edges := src.NextBatch(chunk)
 			if len(edges) == 0 {
 				break
 			}
-			res.EdgesExamined += len(edges)
 			for _, e := range edges {
+				env.onCertify(e)
 				if oracle != nil && hubCertify(e.U, e.V, t*e.W) {
+					res.EdgesExamined++
 					continue
 				}
-				if _, within := serial.BidirDistanceWithin(h, e.U, e.V, t*e.W); within {
+				_, within := serial.BidirDistanceWithin(h, e.U, e.V, t*e.W)
+				if env.active() {
+					if cerr := env.cancelled(); cerr != nil {
+						return cerr
+					}
+				}
+				if within {
 					stats.SerialSkips++
+					res.EdgesExamined++
 					continue
 				}
 				accept(e)
+				res.EdgesExamined++
 			}
 		}
 		stats.FinalBatchSize = serialBatchStat(batchSize, res.EdgesExamined)
 		finish()
-		return
+		return nil
 	}
 
 	pool := make([]*graph.Searcher, workers)
 	for i := range pool {
 		pool[i] = graph.NewSearcher(n)
+		pool[i].SetStop(stop)
 	}
+	// errs holds one slot per worker: a captured panic or a cancellation
+	// bail-out. Slots are written by their owning worker only and read
+	// after the join, so they need no locking.
+	errs := make([]error, workers)
 	var certified, hubbed []bool
 
-	batch := batchSize
-	adaptive := batch <= 0
+	batch := env.clampBatch(batchSize)
+	adaptive := batchSize <= 0
 	if adaptive {
-		batch = initialBatch(workers)
+		batch = env.clampBatch(initialBatch(workers))
 	}
 
-	for {
+	for batchNo := 0; ; batchNo++ {
+		if cerr := env.cancelled(); cerr != nil {
+			return cerr
+		}
+		env.onBatch(batchNo, nil)
 		edges := src.NextBatch(batch)
 		if len(edges) == 0 {
 			break
 		}
-		res.EdgesExamined += len(edges)
 		stats.Batches++
 		if len(edges) > len(certified) {
 			certified = make([]bool, len(edges))
@@ -299,7 +404,9 @@ func (sc *graphScan) run(src CandidateSource, batchSize int) {
 		}
 
 		// Serial pre-pass: certify what the hub labels already cover, so
-		// only the remaining edges pay a search in phase 1.
+		// only the remaining edges pay a search in phase 1. (hubbed marks
+		// are only read under oracle != nil, so a mid-scan budget drop of
+		// the oracle cannot leak a previous batch's marks.)
 		if oracle != nil {
 			for i, e := range edges {
 				hubbed[i] = hubCertify(e.U, e.V, t*e.W)
@@ -308,8 +415,10 @@ func (sc *graphScan) run(src CandidateSource, batchSize int) {
 
 		// Phase 1: certify skips in parallel against the frozen h. The
 		// workers only read h (and the pre-pass's hubbed marks) and write
-		// disjoint certified[i] slots, so the only synchronization needed
-		// is the join below.
+		// disjoint certified[i] and errs[w] slots, so the only
+		// synchronization needed is the join. A worker converts its own
+		// panic into a typed error and bails out early on cancellation;
+		// either way it reaches wg.Done, so the pool always drains.
 		var wg sync.WaitGroup
 		span := len(edges)
 		chunk := (span + workers - 1) / workers
@@ -319,48 +428,83 @@ func (sc *graphScan) run(src CandidateSource, batchSize int) {
 				end = span
 			}
 			wg.Add(1)
-			go func(search *graph.Searcher, start, end int) {
+			go func(w int, search *graph.Searcher, start, end int) {
 				defer wg.Done()
+				defer func() {
+					if p := recover(); p != nil {
+						errs[w] = panicErr(p)
+					}
+				}()
 				for i := start; i < end; i++ {
-					if hubbed[i] {
+					if oracle != nil && hubbed[i] {
 						continue
 					}
+					if env.active() {
+						if cerr := env.cancelled(); cerr != nil {
+							errs[w] = cerr
+							return
+						}
+					}
 					e := edges[i]
+					env.onCertify(e)
 					_, within := search.BidirDistanceWithin(h, e.U, e.V, t*e.W)
 					certified[i] = within
 				}
-			}(pool[w], start, end)
+			}(w, pool[w], start, end)
 		}
 		wg.Wait()
+		if werr := firstWorkerErr(errs); werr != nil {
+			return werr
+		}
+		// Abandon the whole batch on cancellation: nothing was committed
+		// yet, and phase-1 certificates may rest on truncated searches.
+		if cerr := env.cancelled(); cerr != nil {
+			return cerr
+		}
 
 		// Phase 2: replay the uncertified survivors serially in greedy
 		// order against the live spanner. A survivor may still be skipped
 		// here when an edge accepted earlier in this same batch created a
-		// path for it — exactly as the sequential scan would decide.
+		// path for it — exactly as the sequential scan would decide. Each
+		// candidate is folded into EdgesExamined as its decision commits,
+		// so an abort mid-batch leaves the exact decided count.
 		survivors := 0
 		for i, e := range edges {
-			if hubbed[i] {
+			if oracle != nil && hubbed[i] {
+				res.EdgesExamined++
 				continue // counted as a HubSkip in the pre-pass
 			}
 			if certified[i] {
 				stats.CertifiedSkips++
+				res.EdgesExamined++
 				continue
 			}
 			survivors++
-			if _, within := serial.BidirDistanceWithin(h, e.U, e.V, t*e.W); within {
+			env.onCertify(e)
+			_, within := serial.BidirDistanceWithin(h, e.U, e.V, t*e.W)
+			if env.active() {
+				if cerr := env.cancelled(); cerr != nil {
+					return cerr
+				}
+			}
+			if within {
 				stats.SerialSkips++
+				res.EdgesExamined++
 				continue
 			}
 			accept(e)
+			res.EdgesExamined++
 		}
 
 		// Adapt only on full-width rounds: a batch truncated at a bucket
 		// boundary says nothing about snapshot staleness, the signal the
 		// policy tracks.
 		if adaptive && span == batch {
-			batch = adaptBatch(batch, survivors, span)
+			batch = env.clampBatch(adaptBatch(batch, survivors, span))
 		}
+		batch = checkBudget(batch)
 	}
 	stats.FinalBatchSize = batch
 	finish()
+	return nil
 }

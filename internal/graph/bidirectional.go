@@ -13,6 +13,9 @@ type bidirScratch struct {
 	hf, hb             *pq.IndexedMinHeap
 	distF, distB       []float64
 	touchedF, touchedB []int32
+	// stop mirrors dijkstraScratch.stop: polled every stopMask+1 pops; a
+	// true return abandons the search (see Searcher.SetStop).
+	stop func() bool
 }
 
 func newBidirScratch(n int) *bidirScratch {
@@ -71,11 +74,17 @@ func (g *Graph) bidirDistanceWithin(src, dst int, limit float64, s *bidirScratch
 	s.hb.Push(dst, 0)
 
 	best := Inf
+	pops := 0
 	for s.hf.Len() > 0 && s.hb.Len() > 0 {
 		_, fMin := s.hf.Peek()
 		_, bMin := s.hb.Peek()
 		if fMin+bMin >= best || fMin+bMin > limit {
 			break
+		}
+		if s.stop != nil {
+			if pops++; pops&stopMask == 0 && s.stop() {
+				break
+			}
 		}
 		// Expand the side with the smaller frontier minimum.
 		if fMin <= bMin {

@@ -75,7 +75,16 @@ type dijkstraScratch struct {
 	dist    []float64
 	parent  []int32
 	touched []int32
+	// stop, when non-nil, is polled every stopMask+1 heap pops; a true
+	// return abandons the search (see Searcher.SetStop for the contract).
+	stop func() bool
 }
+
+// stopMask throttles the cooperative cancellation poll of every search
+// loop: the predicate installed by Searcher.SetStop is consulted once per
+// stopMask+1 heap pops, so an uncancelled search pays one nil check per
+// pop and a cancelled one is abandoned within a few thousand rounds.
+const stopMask = 4095
 
 func newDijkstraScratch(n int) *dijkstraScratch {
 	s := &dijkstraScratch{
@@ -114,10 +123,16 @@ func (g *Graph) dijkstra(src, dst int, limit float64, scratch *dijkstraScratch) 
 	s.dist[src] = 0
 	s.touched = append(s.touched, int32(src))
 	s.heap.Push(src, 0)
+	pops := 0
 	for s.heap.Len() > 0 {
 		u, du := s.heap.Pop()
 		if u == dst {
 			break
+		}
+		if s.stop != nil {
+			if pops++; pops&stopMask == 0 && s.stop() {
+				break
+			}
 		}
 		for _, h := range g.adj[u] {
 			v := int(h.to)
@@ -156,10 +171,16 @@ func (g *Graph) dijkstraAvoiding(src, dst int, limit float64, avoid Edge, s *dij
 	s.dist[src] = 0
 	s.touched = append(s.touched, int32(src))
 	s.heap.Push(src, 0)
+	pops := 0
 	for s.heap.Len() > 0 {
 		u, du := s.heap.Pop()
 		if u == dst {
 			break
+		}
+		if s.stop != nil {
+			if pops++; pops&stopMask == 0 && s.stop() {
+				break
+			}
 		}
 		for _, h := range g.adj[u] {
 			v := int(h.to)
@@ -207,10 +228,16 @@ func (g *Graph) dijkstraMasked(src, dst int, limit float64, masked []bool, s *di
 		return
 	}
 	s.heap.Push(src, 0)
+	pops := 0
 	for s.heap.Len() > 0 {
 		u, du := s.heap.Pop()
 		if u == dst {
 			break
+		}
+		if s.stop != nil {
+			if pops++; pops&stopMask == 0 && s.stop() {
+				break
+			}
 		}
 		for _, h := range g.adj[u] {
 			v := int(h.to)

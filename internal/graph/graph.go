@@ -10,6 +10,13 @@ import (
 // Inf is the distance reported for unreachable vertex pairs.
 var Inf = math.Inf(1)
 
+// ErrInvalidInput is the sentinel every input-validation failure wraps:
+// out-of-range vertex ids, self-loops, non-positive / non-finite edge
+// weights, malformed coordinates or distance matrices, and out-of-range
+// stretch parameters all unwrap to it, so callers can catch any rejected
+// input with a single errors.Is check instead of matching message text.
+var ErrInvalidInput = errors.New("invalid input")
+
 // Edge is an undirected weighted edge. U < V is not required but the
 // convention U <= V is maintained by Graph.AddEdge for canonical storage.
 type Edge struct {
@@ -95,11 +102,11 @@ func (g *Graph) MaxDegree() int {
 func CheckEdge(n, u, v int, w float64) error {
 	switch {
 	case u < 0 || u >= n || v < 0 || v >= n:
-		return fmt.Errorf("graph: edge (%d, %d) out of range [0, %d)", u, v, n)
+		return fmt.Errorf("graph: edge (%d, %d) out of range [0, %d): %w", u, v, n, ErrInvalidInput)
 	case u == v:
-		return fmt.Errorf("graph: self-loop at vertex %d", u)
+		return fmt.Errorf("graph: self-loop at vertex %d: %w", u, ErrInvalidInput)
 	case !(w > 0) || math.IsInf(w, 0):
-		return fmt.Errorf("graph: edge (%d, %d) has non-positive or non-finite weight %v", u, v, w)
+		return fmt.Errorf("graph: edge (%d, %d) has non-positive or non-finite weight %v: %w", u, v, w, ErrInvalidInput)
 	}
 	return nil
 }

@@ -19,7 +19,10 @@ type Searcher struct {
 	// lastTouched is the vertex count of the most recent single-source
 	// sweep; see LastTouched.
 	lastTouched int
-	n           int
+	// stop is the cooperative cancellation predicate installed by SetStop,
+	// propagated to the bidirectional scratch when that is allocated.
+	stop func() bool
+	n    int
 }
 
 // NewSearcher returns a Searcher for graphs on n vertices.
@@ -29,6 +32,22 @@ func NewSearcher(n int) *Searcher {
 
 // N reports the vertex count the Searcher was sized for.
 func (s *Searcher) N() int { return s.n }
+
+// SetStop installs a cooperative cancellation predicate: every search the
+// Searcher runs polls stop every few thousand heap pops and abandons the
+// search when it returns true. An abandoned search leaves only valid
+// tentative distances behind (Dijkstra relaxations never undercut true
+// distances), but its point answers may be overestimates — callers must
+// check their own cancellation signal after each query and discard the
+// answer when it fired. A nil stop restores unconditional searches and
+// costs the hot loops nothing.
+func (s *Searcher) SetStop(stop func() bool) {
+	s.stop = stop
+	s.scratch.stop = stop
+	if s.bidir != nil {
+		s.bidir.stop = stop
+	}
+}
 
 // DistanceWithin reports the shortest-path distance from src to dst in g if
 // it is at most limit, and (Inf, false) otherwise, like
@@ -58,6 +77,7 @@ func (s *Searcher) BidirDistanceWithin(g *Graph, src, dst int, limit float64) (f
 	}
 	if s.bidir == nil {
 		s.bidir = newBidirScratch(s.n)
+		s.bidir.stop = s.stop
 	}
 	d := g.bidirDistanceWithin(src, dst, limit, s.bidir)
 	s.bidir.reset()

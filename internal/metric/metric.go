@@ -31,15 +31,15 @@ func NewEuclidean(pts [][]float64) (*Euclidean, error) {
 	}
 	d := len(pts[0])
 	if d == 0 {
-		return nil, fmt.Errorf("metric: zero-dimensional points")
+		return nil, fmt.Errorf("metric: zero-dimensional points: %w", graph.ErrInvalidInput)
 	}
 	for i, p := range pts {
 		if len(p) != d {
-			return nil, fmt.Errorf("metric: point %d has dim %d, want %d", i, len(p), d)
+			return nil, fmt.Errorf("metric: point %d has dim %d, want %d: %w", i, len(p), d, graph.ErrInvalidInput)
 		}
 		for _, c := range p {
 			if math.IsNaN(c) || math.IsInf(c, 0) {
-				return nil, fmt.Errorf("metric: point %d has non-finite coordinate", i)
+				return nil, fmt.Errorf("metric: point %d has non-finite coordinate: %w", i, graph.ErrInvalidInput)
 			}
 		}
 	}
@@ -87,20 +87,20 @@ func NewMatrix(d [][]float64) (*Matrix, error) {
 	n := len(d)
 	for i := range d {
 		if len(d[i]) != n {
-			return nil, fmt.Errorf("metric: row %d has length %d, want %d", i, len(d[i]), n)
+			return nil, fmt.Errorf("metric: row %d has length %d, want %d: %w", i, len(d[i]), n, graph.ErrInvalidInput)
 		}
 		if d[i][i] != 0 {
-			return nil, fmt.Errorf("metric: nonzero diagonal at %d", i)
+			return nil, fmt.Errorf("metric: nonzero diagonal at %d: %w", i, graph.ErrInvalidInput)
 		}
 		for j := range d[i] {
 			if math.IsNaN(d[i][j]) || math.IsInf(d[i][j], 0) {
-				return nil, fmt.Errorf("metric: non-finite distance (%d, %d)", i, j)
+				return nil, fmt.Errorf("metric: non-finite distance (%d, %d): %w", i, j, graph.ErrInvalidInput)
 			}
 			if i != j && d[i][j] <= 0 {
-				return nil, fmt.Errorf("metric: non-positive distance %v at (%d, %d)", d[i][j], i, j)
+				return nil, fmt.Errorf("metric: non-positive distance %v at (%d, %d): %w", d[i][j], i, j, graph.ErrInvalidInput)
 			}
 			if d[i][j] != d[j][i] {
-				return nil, fmt.Errorf("metric: asymmetric at (%d, %d)", i, j)
+				return nil, fmt.Errorf("metric: asymmetric at (%d, %d): %w", i, j, graph.ErrInvalidInput)
 			}
 		}
 	}

@@ -67,8 +67,39 @@ type Graph = graph.Graph
 // Edge re-exports the weighted undirected edge type.
 type Edge = graph.Edge
 
-// Result re-exports the spanner construction result.
+// Result re-exports the spanner construction result. When a build is
+// cancelled or faulted, the Result returned alongside the typed error has
+// Partial set and holds the exact decided prefix of the complete build's
+// edge sequence — never a corrupt or half-applied state.
 type Result = core.Result
+
+// Budget re-exports the engines' resource budget: a byte cap on the
+// estimated working set, a batch-width cap, and a deadline. Budgeted runs
+// degrade gracefully down an output-invariant ladder (materialized →
+// streamed supply, shrink batch width, drop the hub oracle, drop cached
+// bound rows), recording each step in the stats' Degradations log.
+type Budget = core.Budget
+
+// Typed failure sentinels, matched with errors.Is. Every engine error
+// wraps exactly one of these (or ErrInvalidInput for rejected arguments).
+var (
+	// ErrInvalidInput is wrapped by every input-validation rejection:
+	// non-finite or non-positive edge weights, out-of-range or equal
+	// endpoints, NaN/Inf coordinates, malformed distance matrices, and
+	// out-of-range stretch values.
+	ErrInvalidInput = graph.ErrInvalidInput
+	// ErrCancelled is wrapped when a build is stopped by its context or
+	// budget deadline; the accompanying Result is the clean decided
+	// prefix, marked Partial.
+	ErrCancelled = core.ErrCancelled
+	// ErrEnginePanic is wrapped when a panic inside a certification
+	// worker or serial engine section was captured and converted into an
+	// error instead of crashing the process.
+	ErrEnginePanic = core.ErrEnginePanic
+	// ErrCorruptState is wrapped when a guarded bound row fails its
+	// checksum (see MetricParallelOptions.GuardRows).
+	ErrCorruptState = core.ErrCorruptState
+)
 
 // CandidateSource re-exports the streaming candidate-supply interface: a
 // source of spanner candidates in greedy scan order, pulled batch by
@@ -77,14 +108,21 @@ type Result = core.Result
 type CandidateSource = core.CandidateSource
 
 // ParallelOptions re-exports the graph engine's tuning knobs (workers,
-// batch width, candidate supply, stats).
+// batch width, candidate supply, stats) and its robustness controls: Ctx
+// cancels the build at the next check point (typed ErrCancelled, prefix
+// Result), Budget bounds its resources with graceful degradation, and
+// Inject is the fault-injection surface the chaos harness drives.
 type ParallelOptions = core.ParallelOptions
 
 // ParallelStats re-exports the graph engine's counters.
 type ParallelStats = core.ParallelStats
 
 // MetricParallelOptions re-exports the metric engine's tuning knobs
-// (workers, batch width, candidate supply, bucket cap, stats).
+// (workers, batch width, candidate supply, bucket cap, stats) plus the
+// robustness controls (Ctx, Budget, Inject) and GuardRows, which arms
+// per-row checksums over the cached bound rows so a corrupted entry
+// surfaces as ErrCorruptState instead of silently certifying a wrong
+// skip.
 type MetricParallelOptions = core.MetricParallelOptions
 
 // MetricParallelStats re-exports the metric engine's counters, including
@@ -100,7 +138,7 @@ type MetricParallelStats = core.MetricParallelStats
 type IncrementalPolicy = core.IncrementalPolicy
 
 // FaultTolerantOptions re-exports the fault-tolerant engine's knobs (hub
-// count, probe counters).
+// count, probe counters) and robustness controls (Ctx, Budget, Inject).
 type FaultTolerantOptions = core.FaultTolerantOptions
 
 // FaultTolerantStats re-exports the fault-tolerant engine's probe

@@ -155,7 +155,10 @@ func TestPublicAPIIncremental(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := inc.Result()
+		got, err := inc.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if got.Size() != want.Size() || got.Weight != want.Weight {
 			t.Fatalf("k=%d: incremental (%d, %v) vs from-scratch (%d, %v)",
 				k, got.Size(), got.Weight, want.Size(), want.Weight)
@@ -199,7 +202,10 @@ func TestPublicAPIIncremental(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := ginc.Result()
+	got, err := ginc.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got.Size() != want.Size() || got.Weight != want.Weight || got.EdgesExamined != want.EdgesExamined {
 		t.Fatalf("graph mode: incremental (%d, %v, %d) vs from-scratch (%d, %v, %d)",
 			got.Size(), got.Weight, got.EdgesExamined, want.Size(), want.Weight, want.EdgesExamined)
@@ -274,7 +280,10 @@ func TestPublicAPIHubsAndPolicy(t *testing.T) {
 	if inc.Pending() != 6 {
 		t.Fatalf("pending = %d, want 6", inc.Pending())
 	}
-	res := inc.Result()
+	res, err := inc.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Size() != want.Size() || res.Weight != want.Weight || res.EdgesExamined != want.EdgesExamined {
 		t.Fatalf("coalesced: (%d, %v, %d) vs (%d, %v, %d)",
 			res.Size(), res.Weight, res.EdgesExamined, want.Size(), want.Weight, want.EdgesExamined)

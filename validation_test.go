@@ -1,0 +1,132 @@
+package spanner
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestInvalidInputRejection table-tests every input-validation path of the
+// public API: each rejected input must return an error matching
+// ErrInvalidInput via errors.Is, so callers can branch on the sentinel
+// without parsing messages.
+func TestInvalidInputRejection(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+
+	t.Run("edges", func(t *testing.T) {
+		cases := []struct {
+			name string
+			u, v int
+			w    float64
+		}{
+			{"nan weight", 0, 1, nan},
+			{"negative weight", 0, 1, -1},
+			{"zero weight", 0, 1, 0},
+			{"inf weight", 0, 1, inf},
+			{"u out of range", -1, 1, 1},
+			{"v out of range", 0, 5, 1},
+			{"self-loop", 2, 2, 1},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				g := NewGraph(4)
+				err := g.AddEdge(tc.u, tc.v, tc.w)
+				if !errors.Is(err, ErrInvalidInput) {
+					t.Fatalf("AddEdge(%d, %d, %v) = %v, want ErrInvalidInput", tc.u, tc.v, tc.w, err)
+				}
+			})
+		}
+	})
+
+	t.Run("points", func(t *testing.T) {
+		cases := []struct {
+			name string
+			pts  [][]float64
+		}{
+			{"nan coordinate", [][]float64{{0, 0}, {1, nan}}},
+			{"inf coordinate", [][]float64{{0, 0}, {inf, 1}}},
+			{"zero dimension", [][]float64{{}, {}}},
+			{"dimension mismatch", [][]float64{{0, 0}, {1}}},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				if _, err := NewEuclidean(tc.pts); !errors.Is(err, ErrInvalidInput) {
+					t.Fatalf("NewEuclidean(%v) = %v, want ErrInvalidInput", tc.pts, err)
+				}
+			})
+		}
+	})
+
+	t.Run("matrix", func(t *testing.T) {
+		cases := []struct {
+			name string
+			d    [][]float64
+		}{
+			{"ragged row", [][]float64{{0, 1}, {1}}},
+			{"nonzero diagonal", [][]float64{{1, 1}, {1, 0}}},
+			{"nan distance", [][]float64{{0, nan}, {nan, 0}}},
+			{"negative distance", [][]float64{{0, -1}, {-1, 0}}},
+			{"zero off-diagonal", [][]float64{{0, 0}, {0, 0}}},
+			{"asymmetric", [][]float64{{0, 1}, {2, 0}}},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				if _, err := NewMetricFromMatrix(tc.d); !errors.Is(err, ErrInvalidInput) {
+					t.Fatalf("NewMetricFromMatrix(%v) = %v, want ErrInvalidInput", tc.d, err)
+				}
+			})
+		}
+	})
+
+	t.Run("stretch", func(t *testing.T) {
+		g := NewGraph(3)
+		g.MustAddEdge(0, 1, 1)
+		g.MustAddEdge(1, 2, 1)
+		m, err := NewEuclidean([][]float64{{0}, {1}, {3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bad := range []float64{0, 0.5, -2, nan} {
+			if _, err := Greedy(g, bad); !errors.Is(err, ErrInvalidInput) {
+				t.Fatalf("Greedy(t=%v) = %v, want ErrInvalidInput", bad, err)
+			}
+			if _, err := GreedyMetric(m, bad); !errors.Is(err, ErrInvalidInput) {
+				t.Fatalf("GreedyMetric(t=%v) = %v, want ErrInvalidInput", bad, err)
+			}
+			if _, err := FaultTolerantGreedy(m, bad, 1); !errors.Is(err, ErrInvalidInput) {
+				t.Fatalf("FaultTolerantGreedy(t=%v) = %v, want ErrInvalidInput", bad, err)
+			}
+			if _, err := NewIncremental(m, bad, 1); !errors.Is(err, ErrInvalidInput) {
+				t.Fatalf("NewIncremental(t=%v) = %v, want ErrInvalidInput", bad, err)
+			}
+		}
+	})
+
+	t.Run("incremental-insert", func(t *testing.T) {
+		// InsertEdges validates before mutating: a batch with one bad edge
+		// changes nothing.
+		g := NewGraph(4)
+		g.MustAddEdge(0, 1, 1)
+		g.MustAddEdge(1, 2, 1)
+		g.MustAddEdge(2, 3, 1)
+		inc, err := NewIncrementalGraph(g, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, err := inc.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.InsertEdges(Edge{U: 0, V: 3, W: 1}, Edge{U: 1, V: 1, W: 1}); !errors.Is(err, ErrInvalidInput) {
+			t.Fatalf("InsertEdges with a self-loop = %v, want ErrInvalidInput", err)
+		}
+		after, err := inc.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after != before {
+			t.Fatalf("rejected batch still mutated the maintained spanner")
+		}
+	})
+}
