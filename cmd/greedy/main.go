@@ -14,6 +14,10 @@
 //	                                             # last 10 inputs, insert those via
 //	                                             # the maintained spanner
 //	greedy -t 3 -graph edges.txt -insert 25      # same for the last 25 edges
+//	greedy -t 1.5 -points pts.txt -delete 10     # dynamic: build on everything, then
+//	                                             # remove the last 10 inputs via the
+//	                                             # maintained spanner
+//	greedy -t 3 -graph edges.txt -delete 25      # same for the last 25 edges
 //	greedy -t 1.5 -points pts.txt -hubs -1       # hub-label certification fast path
 //	                                             # (auto hub count; -hubs k picks k)
 //
@@ -88,6 +92,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	algo := fs.String("algo", "greedy", "construction: greedy or approx (points only)")
 	workers := fs.Int("workers", 0, "parallel greedy workers (0 = GOMAXPROCS, -1 = sequential reference engine)")
 	insert := fs.Int("insert", 0, "build on all but the last k inputs, then add those through the incremental engine")
+	del := fs.Int("delete", 0, "build on the full input, then remove the last k inputs through the dynamic engine")
 	hubs := fs.Int("hubs", 0, "hub-label certification fast path: k hub vertices (0 = off, -1 = auto); output is identical either way")
 	timeout := fs.Duration("timeout", 0, "abort the build after this duration (budget deadline; 0 = none)")
 	maxBytes := fs.Int64("maxbytes", 0, "working-set byte budget with graceful degradation (0 = none)")
@@ -113,6 +118,14 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		return fmt.Errorf("-insert uses the incremental engine; it has no sequential reference mode (-workers -1)")
 	case *insert > 0 && *algo != "greedy":
 		return fmt.Errorf("-insert applies to the greedy construction only")
+	case *del < 0:
+		return fmt.Errorf("-delete must be >= 0, got %d", *del)
+	case *insert > 0 && *del > 0:
+		return fmt.Errorf("-insert and -delete cannot be combined; interleave updates through the library API instead")
+	case *del > 0 && *workers < 0:
+		return fmt.Errorf("-delete uses the dynamic engine; it has no sequential reference mode (-workers -1)")
+	case *del > 0 && *algo != "greedy":
+		return fmt.Errorf("-delete applies to the greedy construction only")
 	case *graphPath != "":
 		g, err := readGraph(*graphPath)
 		if err != nil {
@@ -126,6 +139,13 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		}
 		if *insert > 0 {
 			res, err = incrementalGraph(g, *t, popts, *insert)
+		} else if *del > 0 {
+			res, err = decrementalGraph(g, *t, popts, *del)
+			if err == nil {
+				// The output spans the surviving graph; verify against it.
+				edges := g.Edges()
+				g = g.Subgraph(edges[:len(edges)-*del])
+			}
 		} else if *workers < 0 {
 			// The parallel engine produces the same spanner as the
 			// sequential scan; -workers -1 keeps the reference path
@@ -157,6 +177,13 @@ func run(ctx context.Context, args []string, out *os.File) error {
 			}
 			if *insert > 0 {
 				res, err = incrementalPoints(pts, *t, mopts, *insert)
+			} else if *del > 0 {
+				res, err = decrementalPoints(pts, *t, mopts, *del)
+				if err == nil {
+					// The output spans the surviving points; verify
+					// against their metric.
+					m, err = metric.NewEuclidean(pts[:len(pts)-*del])
+				}
 			} else if *workers < 0 {
 				// The parallel metric engine produces the same spanner as
 				// the serial cached-bound scan; -workers -1 keeps the
@@ -215,6 +242,48 @@ func incrementalPoints(pts [][]float64, t float64, opts core.MetricParallelOptio
 		return nil, err
 	}
 	if err := inc.Insert(union); err != nil {
+		return nil, err
+	}
+	return inc.Result()
+}
+
+// decrementalPoints builds the spanner of the full point set and then
+// removes the last k points through the maintained dynamic spanner — the
+// output is identical to a from-scratch build on the surviving points.
+func decrementalPoints(pts [][]float64, t float64, opts core.MetricParallelOptions, k int) (*core.Result, error) {
+	if k >= len(pts) {
+		return nil, fmt.Errorf("-delete %d removes every one of the %d points", k, len(pts))
+	}
+	m, err := metric.NewEuclidean(pts)
+	if err != nil {
+		return nil, err
+	}
+	inc, err := core.NewIncrementalMetric(m, t, opts)
+	if err != nil {
+		return nil, err
+	}
+	victims := make([]int, k)
+	for i := range victims {
+		victims[i] = len(pts) - k + i
+	}
+	if err := inc.Delete(victims...); err != nil {
+		return nil, err
+	}
+	return inc.Result()
+}
+
+// decrementalGraph builds the spanner of the full graph and then removes
+// its last k edges (input order) through the maintained dynamic spanner.
+func decrementalGraph(g *graph.Graph, t float64, opts core.ParallelOptions, k int) (*core.Result, error) {
+	edges := g.Edges()
+	if k >= len(edges) {
+		return nil, fmt.Errorf("-delete %d removes every one of the %d edges", k, len(edges))
+	}
+	inc, err := core.NewIncrementalGraph(g, t, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := inc.DeleteEdges(edges[len(edges)-k:]...); err != nil {
 		return nil, err
 	}
 	return inc.Result()

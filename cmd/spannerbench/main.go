@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	spannerbench [-exp all|e1|...|e12|a1..a5|ablations|greedybench|greedymetricbench|pairstreambench|incrementalbench] [-scale small|full] [-seed N]
+//	spannerbench [-exp all|e1|...|e12|a1..a5|ablations|greedybench|greedymetricbench|pairstreambench|incrementalbench|dynamicbench] [-scale small|full] [-seed N]
 //
 // The "full" scale is what EXPERIMENTS.md records; "small" finishes in a
 // few seconds.
@@ -35,6 +35,14 @@
 // and edge-for-edge identity of the final spanner, writing
 // BENCH_incremental.json by default. -workers selects the engine worker
 // count (default 1).
+//
+// -exp dynamicbench times the fully dynamic maintained spanner against
+// the rebuild-per-op policy (one from-scratch build at n per operation):
+// insert-only and delete-only batches amortized over the updated points,
+// and a mixed 80/10/10 query/insert/delete trace under the coalescing
+// policy, with every final spanner checked edge-for-edge against the
+// from-scratch build on its survivors, writing BENCH_dynamic.json by
+// default. -workers selects the engine worker count (default 1).
 //
 // -exp hubbench times the hub-label certification fast path against the
 // hubs-disabled engines on the graph, metric, and incremental acceptance
@@ -84,7 +92,7 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("spannerbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench, hubbench")
+	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench, dynamicbench, hubbench")
 	scaleFlag := fs.String("scale", "small", "experiment scale: small or full")
 	seed := fs.Int64("seed", 42, "random seed for workload generation")
 	jsonPath := fs.String("json", "", "output path for the greedybench/greedymetricbench report (default BENCH_greedy.json / BENCH_greedymetric.json)")
@@ -163,6 +171,10 @@ func run(ctx context.Context, args []string) error {
 		tab, report, err := bench.IncrementalBench(ctx, scale, *seed, *reps, *workers)
 		return writeReport("BENCH_incremental.json", tab, report, err)
 	}
+	if name == "dynamicbench" {
+		tab, report, err := bench.DynamicBench(ctx, scale, *seed, *reps, *workers)
+		return writeReport("BENCH_dynamic.json", tab, report, err)
+	}
 	if name == "hubbench" {
 		tab, report, err := bench.HubBench(ctx, scale, *seed, *reps, *workers, *hubCount)
 		return writeReport("BENCH_hub.json", tab, report, err)
@@ -189,7 +201,7 @@ func run(ctx context.Context, args []string) error {
 	}
 	r, ok := runners[name]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench, or hubbench)", *exp)
+		return fmt.Errorf("unknown experiment %q (want all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench, dynamicbench, or hubbench)", *exp)
 	}
 	tab, err := r()
 	if err != nil {

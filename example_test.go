@@ -188,6 +188,51 @@ func ExampleNewIncremental() {
 	// size=4 identical=true
 }
 
+// ExampleIncremental_Delete removes a point from a maintained spanner:
+// the greedy scan is rebased backward to the earliest accepted edge the
+// deleted point touched and only the tail is replayed from checkpointed
+// state, yet the result — densely renumbered over the survivors — is
+// bit-identical to rebuilding from scratch without the point.
+func ExampleIncremental_Delete() {
+	pts := [][]float64{{0}, {1}, {2}, {3}, {8}}
+	m, err := spanner.NewEuclidean(pts)
+	if err != nil {
+		panic(err)
+	}
+	inc, err := spanner.NewIncremental(m, 2, 4)
+	if err != nil {
+		panic(err)
+	}
+	if err := inc.Delete(2); err != nil { // remove the point at x=2
+		panic(err)
+	}
+	survivors, err := spanner.NewEuclidean([][]float64{{0}, {1}, {3}, {8}})
+	if err != nil {
+		panic(err)
+	}
+	scratch, err := spanner.GreedyMetric(survivors, 2)
+	if err != nil {
+		panic(err)
+	}
+	res, err := inc.Result()
+	if err != nil {
+		panic(err)
+	}
+	identical := res.Size() == scratch.Size() && res.Weight == scratch.Weight
+	for i := range scratch.Edges {
+		identical = identical && res.Edges[i] == scratch.Edges[i]
+	}
+	for _, e := range res.Edges {
+		fmt.Printf("%d-%d w=%g\n", e.U, e.V, e.W)
+	}
+	fmt.Printf("identical=%v\n", identical)
+	// Output:
+	// 0-1 w=1
+	// 1-2 w=2
+	// 2-3 w=5
+	// identical=true
+}
+
 // ExampleVerifySpanner audits a constructed spanner against the paper's
 // Section 2 definition and reports the worst stretch over the input's
 // edges — here the pruned diagonal, detoured by the two-hop unit path.

@@ -71,6 +71,14 @@ type Schedule struct {
 	Bit      uint
 	// Stall is how long the stalled certification sleeps.
 	Stall time.Duration
+	// AtRebase redirects the fault to the backward-rebase window instead
+	// of the certification path: the fault fires inside
+	// IncrementalSpanner.Flush after the keep prefix is decided, before
+	// the bound store and hub oracle rebase onto it. FaultCorrupt then
+	// targets a checkpoint snapshot (falling back to a live row when the
+	// corrupter exposes no checkpoints), modelling a damaged saved state
+	// that the digest-verified restore must detect, never launder.
+	AtRebase bool
 }
 
 // RandomSchedule draws a schedule for the given fault class: the certify
@@ -113,7 +121,7 @@ func (in *Injector) Arm(parent context.Context) (context.Context, core.Injection
 	if in.sched.Fault == FaultCancel {
 		ctx, in.cancel = context.WithCancel(parent)
 	}
-	return ctx, core.InjectionHooks{OnCertify: in.onCertify, OnBatch: in.onBatch}
+	return ctx, core.InjectionHooks{OnCertify: in.onCertify, OnBatch: in.onBatch, OnRebase: in.onRebase}
 }
 
 // Release releases the cancellable context Arm derived; safe to call
@@ -135,7 +143,8 @@ func (in *Injector) Corrupted() bool { return in.corrupted.Load() }
 func (in *Injector) Certifications() int64 { return in.certs.Load() }
 
 func (in *Injector) onCertify(graph.Edge) {
-	if in.sched.AtCertify <= 0 || in.certs.Add(1) != in.sched.AtCertify {
+	hit := in.certs.Add(1) == in.sched.AtCertify
+	if in.sched.AtRebase || in.sched.AtCertify <= 0 || !hit {
 		return
 	}
 	switch in.sched.Fault {
@@ -148,6 +157,44 @@ func (in *Injector) onCertify(graph.Edge) {
 	case FaultStall:
 		in.fired.Store(true)
 		time.Sleep(in.sched.Stall)
+	}
+}
+
+// onRebase fires the scheduled fault inside the maintained spanner's
+// backward-rebase window, at most once — a retried flush revisits the
+// window, and recovery is the property under test.
+func (in *Injector) onRebase(_ int, c core.Corrupter) {
+	if !in.sched.AtRebase {
+		return
+	}
+	switch in.sched.Fault {
+	case FaultPanic:
+		if in.fired.CompareAndSwap(false, true) {
+			panic("chaos: injected rebase panic")
+		}
+	case FaultCancel:
+		if in.fired.CompareAndSwap(false, true) {
+			in.cancel()
+		}
+	case FaultStall:
+		if in.fired.CompareAndSwap(false, true) {
+			time.Sleep(in.sched.Stall)
+		}
+	case FaultCorrupt:
+		if c == nil || !in.corrupted.CompareAndSwap(false, true) {
+			return
+		}
+		// Prefer damaging a checkpoint snapshot — the saved state a
+		// backward rebase restores from — and fall back to a live row
+		// when no checkpoint exists yet. Un-fire on a double miss.
+		if ck, ok := c.(interface {
+			FlipCheckpointBit(u, v int, bit uint) bool
+		}); ok && ck.FlipCheckpointBit(in.sched.Row, in.sched.Col, in.sched.Bit) {
+			return
+		}
+		if !c.FlipRowBit(in.sched.Row, in.sched.Col, in.sched.Bit) {
+			in.corrupted.Store(false)
+		}
 	}
 }
 

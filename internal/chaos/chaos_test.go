@@ -319,6 +319,107 @@ func TestChaosPropertySuite(t *testing.T) {
 		}
 	})
 
+	// Fully dynamic engine: mixed insert+delete batches, with half the
+	// schedules aiming the fault at the backward-rebase window inside
+	// Flush (Schedule.AtRebase) — a panic or cancellation mid-rebase, or
+	// a flipped bit in a checkpoint snapshot. An aborted flush must
+	// preserve the pre-flush spanner and pending tally exactly; corrupted
+	// checkpoints must be detected by the restore digests (identical
+	// output, never laundered state); and once the fault clears, the
+	// retried flush must converge to the from-scratch build on the
+	// survivors.
+	t.Run("dynamic", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(59))
+		pts := make([][]float64, 32)
+		for i := range pts {
+			pts[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		base, err := metric.NewEuclidean(pts[:28])
+		if err != nil {
+			t.Fatal(err)
+		}
+		union, err := metric.NewEuclidean(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deleted := map[int]bool{1: true, 5: true, 29: true}
+		var surv [][]float64
+		for i, p := range pts {
+			if !deleted[i] {
+				surv = append(surv, p)
+			}
+		}
+		survMetric, err := metric.NewEuclidean(surv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refBase, err := core.GreedyMetricFast(base, 1.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refFinal, err := core.GreedyMetricFast(survMetric, 1.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxCertify := int64(32 * 31 / 2)
+		for _, fault := range []chaos.Fault{chaos.FaultPanic, chaos.FaultCancel, chaos.FaultCorrupt} {
+			for seed := 0; seed < 8; seed++ {
+				t.Run(fmt.Sprintf("%v/seed%d", fault, seed), func(t *testing.T) {
+					baseline := runtime.NumGoroutine()
+					sched := chaos.RandomSchedule(rng, fault, 32, maxCertify, 0)
+					sched.AtRebase = seed%2 == 0
+					inj := chaos.New(sched)
+					ctx, hooks := inj.Arm(context.Background())
+					defer inj.Release()
+					opts := core.MetricParallelOptions{Workers: 3, Ctx: ctx, Inject: hooks, GuardRows: true}
+					if seed%4 < 2 {
+						opts.Hubs = 4
+					}
+					schedules++
+					inc, err := core.NewIncrementalMetric(base, 1.8, opts)
+					if err != nil {
+						requireTyped(t, err)
+						fired++
+						settleGoroutines(t, baseline)
+						return
+					}
+					if err := inc.SetPolicy(core.IncrementalPolicy{CoalesceUntilQuery: true}); err != nil {
+						t.Fatalf("SetPolicy with nothing pending: %v", err)
+					}
+					if err := inc.Insert(union); err != nil {
+						t.Fatalf("coalesced Insert replayed: %v", err)
+					}
+					if err := inc.Delete(1, 5, 29); err != nil {
+						t.Fatalf("coalesced Delete replayed: %v", err)
+					}
+					res, ferr := inc.Result()
+					if ferr == nil {
+						checkOutcome(t, refFinal, res, nil)
+						settleGoroutines(t, baseline)
+						return
+					}
+					requireTyped(t, ferr)
+					fired++
+					// Atomicity: the maintained result must still be the
+					// complete base spanner, with all 7 operations pending.
+					checkOutcome(t, refBase, res, nil)
+					if inc.Pending() != 7 {
+						t.Fatalf("pending = %d after aborted flush, want 7", inc.Pending())
+					}
+					// Clear the fault and retry: the flush must converge to
+					// the from-scratch build on the survivors.
+					inc.SetContext(context.Background())
+					res, ferr = inc.Result()
+					if ferr != nil {
+						t.Fatalf("retried flush failed: %v", ferr)
+					}
+					checkOutcome(t, refFinal, res, nil)
+					settleGoroutines(t, baseline)
+				})
+			}
+		}
+	})
+
 	if schedules < minSchedules {
 		t.Fatalf("property suite ran %d schedules, below the %d floor", schedules, minSchedules)
 	}

@@ -125,6 +125,40 @@
 // bit-identical to a from-scratch greedy build on the union, counters
 // included.
 //
+// # Deletions and the backward-rebase soundness invariant
+//
+// Delete (points, metric mode) and DeleteEdges (graph mode) extend the
+// maintained spanner to a fully dynamic one. The soundness argument
+// mirrors insertion, pointed backward: every greedy decision depends
+// only on the accepted edges that precede it, so the earliest accepted
+// edge with a deleted endpoint is the first decision a deletion can
+// disturb. Everything strictly before that cut is a decision the
+// surviving input's scan repeats verbatim — the candidate stream differs
+// only in pairs it skips as tombstoned, and skipped candidates never
+// influenced a decision — so the engine keeps the accepted prefix,
+// rebases the cached state backward onto it, and replays only the tail.
+// A deletion that only touches rejected candidates cuts at the sentinel
+// past the last candidate: the replay is pure accounting and the edge
+// set is untouched.
+//
+// The backward rebase is what makes this cheap. Bound rows and hub
+// arrays are stamped with the accepted-edge prefix they were proven on;
+// a forward rebase (insertion) keeps any stamp at or below the cut, but
+// a deletion invalidates stamps above it, and recomputing them from
+// scratch would cost a full replay. Instead both stores keep periodic
+// checkpoints — digest-verified snapshots of row and hub-array state at
+// known epochs — and restore the newest checkpoint at or below the cut.
+// A restored row is a row the engine actually held at that prefix, so
+// the insertion-soundness argument applies unchanged; a checkpoint whose
+// digest fails verification is dropped, never laundered into the replay.
+// Internally deleted points become tombstones in a stable-id space (ids
+// are never renumbered, which would reorder weight ties); the public
+// Result densely renumbers survivors in stable order, which preserves
+// tie order, the float-summed weight, and the examined-candidate
+// counter. The maintained result after every deletion batch is
+// therefore bit-identical to a from-scratch greedy build on the
+// survivors, counters included.
+//
 // # Cancellation, budgets, and the fault-containment invariant
 //
 // Every engine accepts an optional context and Budget (the Ctx and

@@ -192,6 +192,12 @@ func newBucketedSource(enum pairEnumerator, bucketPairs int) *bucketedSource {
 // enumerator of internal/geom for Euclidean metrics, brute force
 // otherwise.
 func metricEnumeratorFor(m metric.Metric) pairEnumerator {
+	if pe, ok := m.(pairEnumerator); ok {
+		// A metric that enumerates its own pairs (the incremental engine's
+		// tombstone-aware view) supplies them directly: it filters deleted
+		// pairs at collection, so the supply never sees a dead candidate.
+		return pe
+	}
 	if eu, ok := m.(*metric.Euclidean); ok && eu.N() > 0 {
 		pts := make([][]float64, eu.N())
 		for i := range pts {
@@ -286,6 +292,23 @@ func (c *pairCounts) add(w float64) {
 	default:
 		_, e := math.Frexp(w)
 		c.exp[e+expOffset]++
+	}
+}
+
+// remove un-tallies one candidate weight; the exact inverse of add. The
+// incremental engine calls it when a deletion retires a candidate pair, so
+// the maintained histogram stays the histogram of the surviving set and a
+// resumed scan's bucket layout matches what a fresh counting pass over the
+// survivors would build.
+func (c *pairCounts) remove(w float64) {
+	switch {
+	case w == 0:
+		c.zeros--
+	case math.IsInf(w, 1):
+		c.infs--
+	default:
+		_, e := math.Frexp(w)
+		c.exp[e+expOffset]--
 	}
 }
 

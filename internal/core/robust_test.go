@@ -435,3 +435,115 @@ func TestCancelDrainsWorkerPools(t *testing.T) {
 		})
 	}
 }
+
+// TestFlushRetryConverges is the mixed-batch convergence regression: a
+// coalesced insert+delete batch whose flush aborts repeatedly — first
+// before any replay work, then mid-replay after bound rows and hub state
+// advanced past the keep prefix — still converges. Every aborted attempt
+// preserves the pending tally and the pre-flush result bit-for-bit, and
+// the first successful retry produces the from-scratch build on the net
+// survivors, no matter how many failed attempts preceded it.
+func TestFlushRetryConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	pts := make([][]float64, 30)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	base, err := metric.NewEuclidean(pts[:24])
+	if err != nil {
+		t.Fatal(err)
+	}
+	union, err := metric.NewEuclidean(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBase, err := GreedyMetricFast(base, 1.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Net survivors: insert points 24..29, delete points 2, 9, and the
+	// pending insertion 25.
+	var alive []int
+	for i := range pts {
+		if i != 2 && i != 9 && i != 25 {
+			alive = append(alive, i)
+		}
+	}
+	refFinal, err := GreedyMetricFast(restrictMetric(union, alive), 1.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var certs, fireAt atomic.Int64
+	var cancelCur atomic.Value
+	hooks := InjectionHooks{OnCertify: func(graph.Edge) {
+		if at := fireAt.Load(); at > 0 && certs.Add(1) == at {
+			cancelCur.Load().(context.CancelFunc)()
+		}
+	}}
+	inc, err := NewIncrementalMetric(base, 1.7, MetricParallelOptions{
+		Workers: 3, Hubs: 3, GuardRows: true, Inject: hooks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.SetPolicy(IncrementalPolicy{CoalesceUntilQuery: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Insert(union); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Delete(2, 9, 25); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Pending() != 9 {
+		t.Fatalf("pending = %d, want 9 (6 inserted + 3 deleted)", inc.Pending())
+	}
+
+	abort := func(name string, arm int64) {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		cancelCur.Store(cancel)
+		certs.Store(0)
+		if arm > 0 {
+			fireAt.Store(arm)
+		} else {
+			cancel() // abort before any replay work starts
+		}
+		inc.SetContext(ctx)
+		if err := inc.Flush(); !errors.Is(err, ErrCancelled) {
+			t.Fatalf("%s: flush error %v, want ErrCancelled", name, err)
+		}
+		fireAt.Store(0)
+		if inc.Pending() != 9 {
+			t.Fatalf("%s: pending = %d after aborted flush, want 9", name, inc.Pending())
+		}
+		res, rerr := inc.Result()
+		if !errors.Is(rerr, ErrCancelled) {
+			t.Fatalf("%s: Result error %v, want ErrCancelled", name, rerr)
+		}
+		assertSameResult(t, refBase, res)
+	}
+	abort("pre-cancelled", 0)
+	abort("mid-replay", 3)
+	abort("mid-replay-late", 11)
+
+	inc.SetContext(context.Background())
+	if err := inc.Flush(); err != nil {
+		t.Fatalf("final flush: %v", err)
+	}
+	if inc.Pending() != 0 {
+		t.Fatalf("pending = %d after successful flush", inc.Pending())
+	}
+	got, err := inc.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, refFinal, got)
+	// Flushing again with nothing pending stays a no-op.
+	if err := inc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, refFinal, mustResult(t, inc))
+}

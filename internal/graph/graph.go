@@ -138,6 +138,35 @@ func (g *Graph) addEdgeUnchecked(u, v int, w float64) {
 	g.wsum += w
 }
 
+// RemoveEdge deletes one occurrence of the undirected edge (u, v) with
+// weight w, in place. The first matching occurrence in storage order is
+// removed and relative order is preserved everywhere — edge list and both
+// adjacency lists — so deletion is deterministic on multigraphs and every
+// derived iteration order stays reproducible. It returns an error if no
+// such edge exists, in which case the graph is unchanged.
+func (g *Graph) RemoveEdge(u, v int, w float64) error {
+	e := Edge{U: u, V: v, W: w}.Canonical()
+	at := slices.Index(g.edges, e)
+	if at < 0 {
+		return fmt.Errorf("graph: edge (%d, %d, %v) not present: %w", e.U, e.V, e.W, ErrInvalidInput)
+	}
+	g.edges = slices.Delete(g.edges, at, at+1)
+	g.removeHalf(e.U, e.V, w)
+	g.removeHalf(e.V, e.U, w)
+	g.wsum -= w
+	return nil
+}
+
+// removeHalf deletes the first half-edge (from -> to, w) from from's
+// adjacency list, preserving order.
+func (g *Graph) removeHalf(from, to int, w float64) {
+	at := slices.Index(g.adj[from], half{to: int32(to), w: w})
+	if at < 0 {
+		panic(fmt.Sprintf("graph: adjacency desync removing (%d, %d, %v)", from, to, w))
+	}
+	g.adj[from] = slices.Delete(g.adj[from], at, at+1)
+}
+
 // HasEdge reports whether at least one edge joins u and v.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {

@@ -26,11 +26,13 @@
 //     answer most skip certifications in O(k) with no search at all —
 //     hub bounds are upper bounds, so output stays bit-identical with
 //     hubs on or off.
-//   - NewIncremental / NewIncrementalGraph — the maintained greedy
-//     spanner: point insertions (metrics) and edge insertions (graphs)
-//     after the initial build, each batch replayed from the first scan
-//     position it disturbs, with the result bit-identical to a
-//     from-scratch greedy build on the union.
+//   - NewIncremental / NewIncrementalGraph — the fully dynamic
+//     maintained greedy spanner: point insertions and deletions
+//     (metrics) and edge insertions and deletions (graphs) after the
+//     initial build, each batch replayed from the first scan position it
+//     disturbs — deletions rebase cached state backward onto
+//     checkpointed snapshots — with the result bit-identical to a
+//     from-scratch greedy build on the surviving input.
 //   - ApproxGreedy — the O(n log n)-style approximate-greedy algorithm for
 //     doubling metrics (Section 5, Theorem 6), with constant lightness and
 //     degree.
@@ -254,16 +256,24 @@ func NewGraphCandidateSource(g *Graph, bucketPairs int) CandidateSource {
 	return core.NewGraphEdgeSource(g, bucketPairs)
 }
 
-// Incremental re-exports the maintained greedy spanner: after the initial
-// build it accepts point insertions (metric mode, Insert) or edge
-// insertions (graph mode, InsertEdges), and after every batch its Result
-// is bit-identical to a from-scratch greedy build on the union. An
-// insertion resumes the greedy scan at the first position a new candidate
-// pair occupies: the accepted prefix below it is preserved verbatim,
-// whole candidate buckets below it are skipped by count alone, and cached
-// bound rows untouched since that prefix keep certifying skips — sound
-// because bounds proven on a preserved prefix only overestimate the
-// replay's spanner distances.
+// Incremental re-exports the fully dynamic maintained greedy spanner:
+// after the initial build it accepts point insertions and deletions
+// (metric mode, Insert and Delete) or edge insertions and deletions
+// (graph mode, InsertEdges and DeleteEdges), and after every batch its
+// Result is bit-identical to a from-scratch greedy build on the
+// surviving input. An insertion resumes the greedy scan at the first
+// position a new candidate pair occupies: the accepted prefix below it
+// is preserved verbatim, whole candidate buckets below it are skipped by
+// count alone, and cached bound rows untouched since that prefix keep
+// certifying skips — sound because bounds proven on a preserved prefix
+// only overestimate the replay's spanner distances. A deletion cuts at
+// the earliest accepted edge touching a removed element — every decision
+// before it depended only on surviving accepted edges — and rebases the
+// cached bound rows and hub arrays backward onto digest-verified
+// periodic checkpoints instead of recomputing them, so the tail replay
+// starts from restored state. Deleted points become internal tombstones
+// (never renumbered, which would reorder weight ties); Result densely
+// renumbers the survivors in a tie-preserving order.
 type Incremental = core.IncrementalSpanner
 
 // NewIncremental builds the greedy t-spanner of m and returns it as a
