@@ -20,6 +20,10 @@
 //	greedy -t 3 -graph edges.txt -delete 25      # same for the last 25 edges
 //	greedy -t 1.5 -points pts.txt -hubs -1       # hub-label certification fast path
 //	                                             # (auto hub count; -hubs k picks k)
+//	greedy -t 1.5 -points pts.txt -save s.snap   # build via the maintained engine and
+//	                                             # persist its full state (snapshot)
+//	greedy -load s.snap                          # print the spanner stored in a
+//	                                             # snapshot (no rebuild, no input file)
 //
 // Graph files list one edge per line as "u v w" with integer vertex ids
 // (vertex count is inferred as max id + 1). Point files list one point per
@@ -46,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/metric"
+	"repro/internal/persist"
 	"repro/internal/verify"
 )
 
@@ -96,6 +101,8 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	hubs := fs.Int("hubs", 0, "hub-label certification fast path: k hub vertices (0 = off, -1 = auto); output is identical either way")
 	timeout := fs.Duration("timeout", 0, "abort the build after this duration (budget deadline; 0 = none)")
 	maxBytes := fs.Int64("maxbytes", 0, "working-set byte budget with graceful degradation (0 = none)")
+	savePath := fs.String("save", "", "build through the maintained engine and persist its full state to this snapshot file")
+	loadPath := fs.String("load", "", "print the spanner stored in this snapshot file (exclusive with -graph/-points)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,6 +111,16 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		budget.Deadline = time.Now().Add(*timeout)
 	}
 	switch {
+	case *loadPath != "" && (*graphPath != "" || *pointsPath != "" || *savePath != "" || *insert > 0 || *del > 0):
+		return fmt.Errorf("-load prints a stored snapshot; it cannot be combined with -graph, -points, -save, -insert, or -delete")
+	case *loadPath != "" && *workers < 0:
+		return fmt.Errorf("-load restores the maintained engine; it has no sequential reference mode (-workers -1)")
+	case *loadPath != "":
+		return printSnapshot(out, *loadPath, *workers)
+	case *savePath != "" && *algo != "greedy":
+		return fmt.Errorf("-save applies to the greedy construction only")
+	case *savePath != "" && *workers < 0:
+		return fmt.Errorf("-save uses the maintained engine; it has no sequential reference mode (-workers -1)")
 	case *graphPath != "" && *pointsPath != "":
 		return fmt.Errorf("use exactly one of -graph or -points")
 	case *pointsPath != "" && *algo == "approx" && *workers != 0:
@@ -132,20 +149,25 @@ func run(ctx context.Context, args []string, out *os.File) error {
 			return err
 		}
 		var res *core.Result
+		var inc *core.IncrementalSpanner
 		var stats core.ParallelStats
 		popts := core.ParallelOptions{
 			Workers: *workers, Hubs: resolveHubs(*hubs, g.N()),
 			Ctx: ctx, Budget: budget, Stats: &stats,
 		}
 		if *insert > 0 {
-			res, err = incrementalGraph(g, *t, popts, *insert)
+			inc, err = incrementalGraph(g, *t, popts, *insert)
 		} else if *del > 0 {
-			res, err = decrementalGraph(g, *t, popts, *del)
+			inc, err = decrementalGraph(g, *t, popts, *del)
 			if err == nil {
 				// The output spans the surviving graph; verify against it.
 				edges := g.Edges()
 				g = g.Subgraph(edges[:len(edges)-*del])
 			}
+		} else if *savePath != "" {
+			// -save needs the maintained engine's exportable state, so a
+			// plain build is routed through it; the output is identical.
+			inc, err = core.NewIncrementalGraph(g, *t, popts)
 		} else if *workers < 0 {
 			// The parallel engine produces the same spanner as the
 			// sequential scan; -workers -1 keeps the reference path
@@ -154,8 +176,16 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		} else {
 			res, err = core.GreedyGraphParallelOpts(g, *t, popts)
 		}
+		if err == nil && inc != nil {
+			res, err = inc.Result()
+		}
 		if err != nil {
 			return reportAbort(res, stats.Degradations, err)
+		}
+		if *savePath != "" {
+			if err := saveSnapshot(inc, *savePath); err != nil {
+				return err
+			}
 		}
 		return writeGraphResult(out, res, g, *t)
 	case *pointsPath != "":
@@ -170,20 +200,25 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		switch *algo {
 		case "greedy":
 			var res *core.Result
+			var inc *core.IncrementalSpanner
 			var stats core.MetricParallelStats
 			mopts := core.MetricParallelOptions{
 				Workers: *workers, Hubs: resolveHubs(*hubs, m.N()),
 				Ctx: ctx, Budget: budget, Stats: &stats,
 			}
 			if *insert > 0 {
-				res, err = incrementalPoints(pts, *t, mopts, *insert)
+				inc, err = incrementalPoints(pts, *t, mopts, *insert)
 			} else if *del > 0 {
-				res, err = decrementalPoints(pts, *t, mopts, *del)
+				inc, err = decrementalPoints(pts, *t, mopts, *del)
 				if err == nil {
 					// The output spans the surviving points; verify
 					// against their metric.
 					m, err = metric.NewEuclidean(pts[:len(pts)-*del])
 				}
+			} else if *savePath != "" {
+				// -save needs the maintained engine's exportable state, so
+				// a plain build is routed through it; output is identical.
+				inc, err = core.NewIncrementalMetric(m, *t, mopts)
 			} else if *workers < 0 {
 				// The parallel metric engine produces the same spanner as
 				// the serial cached-bound scan; -workers -1 keeps the
@@ -192,8 +227,16 @@ func run(ctx context.Context, args []string, out *os.File) error {
 			} else {
 				res, err = core.GreedyMetricFastParallelOpts(m, *t, mopts)
 			}
+			if err == nil && inc != nil {
+				res, err = inc.Result()
+			}
 			if err != nil {
 				return reportAbort(res, stats.Degradations, err)
+			}
+			if *savePath != "" {
+				if err := saveSnapshot(inc, *savePath); err != nil {
+					return err
+				}
 			}
 			return writeMetricResult(out, res.Graph(), m, *t)
 		case "approx":
@@ -225,7 +268,7 @@ func resolveHubs(hubs, n int) int {
 // incrementalPoints builds the spanner of all but the last k points and
 // inserts those through the maintained incremental spanner — the output is
 // identical to a from-scratch build on the full point set.
-func incrementalPoints(pts [][]float64, t float64, opts core.MetricParallelOptions, k int) (*core.Result, error) {
+func incrementalPoints(pts [][]float64, t float64, opts core.MetricParallelOptions, k int) (*core.IncrementalSpanner, error) {
 	if k >= len(pts) {
 		return nil, fmt.Errorf("-insert %d holds out every one of the %d points", k, len(pts))
 	}
@@ -244,13 +287,13 @@ func incrementalPoints(pts [][]float64, t float64, opts core.MetricParallelOptio
 	if err := inc.Insert(union); err != nil {
 		return nil, err
 	}
-	return inc.Result()
+	return inc, nil
 }
 
 // decrementalPoints builds the spanner of the full point set and then
 // removes the last k points through the maintained dynamic spanner — the
 // output is identical to a from-scratch build on the surviving points.
-func decrementalPoints(pts [][]float64, t float64, opts core.MetricParallelOptions, k int) (*core.Result, error) {
+func decrementalPoints(pts [][]float64, t float64, opts core.MetricParallelOptions, k int) (*core.IncrementalSpanner, error) {
 	if k >= len(pts) {
 		return nil, fmt.Errorf("-delete %d removes every one of the %d points", k, len(pts))
 	}
@@ -269,12 +312,12 @@ func decrementalPoints(pts [][]float64, t float64, opts core.MetricParallelOptio
 	if err := inc.Delete(victims...); err != nil {
 		return nil, err
 	}
-	return inc.Result()
+	return inc, nil
 }
 
 // decrementalGraph builds the spanner of the full graph and then removes
 // its last k edges (input order) through the maintained dynamic spanner.
-func decrementalGraph(g *graph.Graph, t float64, opts core.ParallelOptions, k int) (*core.Result, error) {
+func decrementalGraph(g *graph.Graph, t float64, opts core.ParallelOptions, k int) (*core.IncrementalSpanner, error) {
 	edges := g.Edges()
 	if k >= len(edges) {
 		return nil, fmt.Errorf("-delete %d removes every one of the %d edges", k, len(edges))
@@ -286,12 +329,12 @@ func decrementalGraph(g *graph.Graph, t float64, opts core.ParallelOptions, k in
 	if err := inc.DeleteEdges(edges[len(edges)-k:]...); err != nil {
 		return nil, err
 	}
-	return inc.Result()
+	return inc, nil
 }
 
 // incrementalGraph builds the spanner of g minus its last k edges (input
 // order) and inserts those through the maintained incremental spanner.
-func incrementalGraph(g *graph.Graph, t float64, opts core.ParallelOptions, k int) (*core.Result, error) {
+func incrementalGraph(g *graph.Graph, t float64, opts core.ParallelOptions, k int) (*core.IncrementalSpanner, error) {
 	edges := g.Edges()
 	if k >= len(edges) {
 		return nil, fmt.Errorf("-insert %d holds out every one of the %d edges", k, len(edges))
@@ -304,7 +347,49 @@ func incrementalGraph(g *graph.Graph, t float64, opts core.ParallelOptions, k in
 	if err := inc.InsertEdges(edges[len(edges)-k:]...); err != nil {
 		return nil, err
 	}
-	return inc.Result()
+	return inc, nil
+}
+
+// saveSnapshot persists the maintained spanner's full exported state to
+// path as a versioned, digest-guarded snapshot (atomic write + fsync).
+func saveSnapshot(inc *core.IncrementalSpanner, path string) error {
+	st, err := inc.ExportState()
+	if err != nil {
+		return err
+	}
+	return persist.WriteFileAtomic(path, persist.EncodeSnapshot(st, 0), 0o644)
+}
+
+// printSnapshot restores the maintained spanner stored in a snapshot file
+// and writes its edges plus a stats trailer. The original input is not in
+// the snapshot, so the stretch/lightness audit of the build paths is not
+// repeated here; the snapshot's own section digests already guarantee the
+// restored state matches what was saved.
+func printSnapshot(out *os.File, path string, workers int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	st, _, err := persist.DecodeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	inc, err := core.ImportIncremental(st,
+		core.MetricParallelOptions{Workers: workers},
+		core.ParallelOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	res, err := inc.Result()
+	if err != nil {
+		return err
+	}
+	for _, e := range res.Edges {
+		fmt.Fprintf(out, "%d %d %g\n", e.U, e.V, e.W)
+	}
+	fmt.Fprintf(out, "# stats: edges=%d weight=%g maxdeg=%d\n",
+		res.Size(), res.Weight, res.Graph().MaxDegree())
+	return nil
 }
 
 func readGraph(path string) (*graph.Graph, error) {

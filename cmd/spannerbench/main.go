@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	spannerbench [-exp all|e1|...|e12|a1..a5|ablations|greedybench|greedymetricbench|pairstreambench|incrementalbench|dynamicbench] [-scale small|full] [-seed N]
+//	spannerbench [-exp all|e1|...|e12|a1..a5|ablations|greedybench|greedymetricbench|pairstreambench|incrementalbench|dynamicbench|persistbench] [-scale small|full] [-seed N]
 //
 // The "full" scale is what EXPERIMENTS.md records; "small" finishes in a
 // few seconds.
@@ -51,6 +51,14 @@
 // compared edge-for-edge (counters included), writing BENCH_hub.json by
 // default. -workers selects the engine worker count (default 1); -hubs
 // overrides the enabled run's hub count (default: auto per instance).
+//
+// -exp persistbench times the durability layer: snapshot save (export +
+// encode + atomic fsynced write), warm start from a snapshot versus a
+// from-scratch build, the amortized cost of a logged fsynced dynamic
+// operation, and a full recovery that replays a WAL tail, with every
+// loaded and recovered spanner checked against the original result
+// digest, writing BENCH_persist.json by default. -workers selects the
+// engine worker count (default 1).
 package main
 
 import (
@@ -92,7 +100,7 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("spannerbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench, dynamicbench, hubbench")
+	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench, dynamicbench, hubbench, persistbench")
 	scaleFlag := fs.String("scale", "small", "experiment scale: small or full")
 	seed := fs.Int64("seed", 42, "random seed for workload generation")
 	jsonPath := fs.String("json", "", "output path for the greedybench/greedymetricbench report (default BENCH_greedy.json / BENCH_greedymetric.json)")
@@ -179,6 +187,10 @@ func run(ctx context.Context, args []string) error {
 		tab, report, err := bench.HubBench(ctx, scale, *seed, *reps, *workers, *hubCount)
 		return writeReport("BENCH_hub.json", tab, report, err)
 	}
+	if name == "persistbench" {
+		tab, report, err := bench.PersistBench(ctx, scale, *seed, *reps, *workers)
+		return writeReport("BENCH_persist.json", tab, report, err)
+	}
 	if name == "all" || name == "ablations" {
 		var (
 			tabs []*bench.Table
@@ -201,7 +213,7 @@ func run(ctx context.Context, args []string) error {
 	}
 	r, ok := runners[name]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench, dynamicbench, or hubbench)", *exp)
+		return fmt.Errorf("unknown experiment %q (want all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench, dynamicbench, hubbench, or persistbench)", *exp)
 	}
 	tab, err := r()
 	if err != nil {

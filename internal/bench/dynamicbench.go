@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/metric"
+	"repro/internal/persist"
 )
 
 // The dynamic benchmark quantifies the fully dynamic maintained spanner:
@@ -363,5 +364,5 @@ func (r *DynamicBenchReport) WriteJSON(path string) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(path, append(data, '\n'), 0o644)
+	return persist.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }

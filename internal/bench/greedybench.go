@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/persist"
 )
 
 // The greedy-engine benchmark compares the sequential greedy scan
@@ -220,7 +221,7 @@ func (r *GreedyBenchReport) WriteJSON(path string) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(path, append(data, '\n'), 0o644)
+	return persist.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }
 
 func yesNo(b bool) string {

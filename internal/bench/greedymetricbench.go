@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/metric"
+	"repro/internal/persist"
 )
 
 // The greedy-metric benchmark compares the serial cached-bound metric scan
@@ -201,5 +202,5 @@ func (r *GreedyMetricBenchReport) WriteJSON(path string) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(path, append(data, '\n'), 0o644)
+	return persist.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/metric"
+	"repro/internal/persist"
 )
 
 // The hub benchmark quantifies the hub-label certification fast path: the
@@ -347,5 +348,5 @@ func (r *HubBenchReport) WriteJSON(path string) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(path, append(data, '\n'), 0o644)
+	return persist.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }

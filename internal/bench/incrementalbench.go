@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/metric"
+	"repro/internal/persist"
 )
 
 // mustIncResult flushes and returns the maintained result; a replay error
@@ -291,5 +292,5 @@ func (r *IncrementalBenchReport) WriteJSON(path string) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(path, append(data, '\n'), 0o644)
+	return persist.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/metric"
+	"repro/internal/persist"
 )
 
 // The pair-stream benchmark isolates the candidate-supply ablation of the
@@ -182,5 +183,5 @@ func (r *PairStreamBenchReport) WriteJSON(path string) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(path, append(data, '\n'), 0o644)
+	return persist.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }

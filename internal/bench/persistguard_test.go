@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"context"
+	"os"
+	"testing"
+)
+
+// TestPersistWarmStartGuardN4000 is the regression gate for the
+// durability layer: on the n=4000 Euclidean acceptance instance a warm
+// start from a snapshot (read + decode + import + first query) must beat
+// a from-scratch greedy build by at least 20x, and every loaded and
+// recovered spanner must reproduce the original result digest exactly. A
+// decoder that starts re-deriving bound rows, an import that re-runs the
+// scan, or a replay that stops using the maintained fast path shows up
+// here as a speedup collapse. Gated behind PERSIST_GUARD=1 because the
+// n=4000 build takes a while; CI runs it as a dedicated step.
+func TestPersistWarmStartGuardN4000(t *testing.T) {
+	if os.Getenv("PERSIST_GUARD") != "1" {
+		t.Skip("set PERSIST_GUARD=1 to run the n=4000 warm-start guard")
+	}
+	const floor = 20.0
+	_, report, err := PersistBench(context.Background(), Full, 42, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var guard *PersistBenchCase
+	for i := range report.Cases {
+		if report.Cases[i].N == 4000 {
+			guard = &report.Cases[i]
+		}
+	}
+	if guard == nil {
+		t.Fatalf("full-scale persist benchmark produced no n=4000 case")
+	}
+	if !guard.Identical {
+		t.Fatalf("n=4000 loaded/recovered spanner diverged from the original result digest")
+	}
+	t.Logf("n=4000 build %.1f ms, save %.1f ms, load %.1f ms, warm-start %.1fx, recover %.1f ms",
+		guard.BuildMedianMS, guard.SaveMedianMS, guard.LoadMedianMS, guard.WarmStartSpeedup, guard.RecoverMedianMS)
+	if guard.WarmStartSpeedup < floor {
+		t.Errorf("warm-start speedup %.2fx below the %.0fx regression floor", guard.WarmStartSpeedup, floor)
+	}
+}

@@ -1,0 +1,25 @@
+package chaos
+
+// Kill is a deterministic crash schedule for the persistence layer: the
+// hook it produces fires at exactly the At-th IO point (counting from 0
+// per Durable), letting a test enumerate every crash window of a workload
+// one run at a time. Unlike the Schedule faults in this package — which
+// corrupt a live engine and expect it to survive — a fired Kill models
+// the process dying: the persist layer materializes that point's
+// worst-case surviving disk state and refuses all further work, and the
+// test's next move is recovery from disk.
+type Kill struct{ At int }
+
+// Hook adapts the schedule to persist.Hooks.Crash.
+func (k Kill) Hook() func(seq int, label string) bool {
+	return func(seq int, _ string) bool { return seq == k.At }
+}
+
+// CountCrashPoints returns a non-firing crash hook that tallies into n,
+// for the counting pass that sizes a Kill enumeration.
+func CountCrashPoints(n *int) func(seq int, label string) bool {
+	return func(int, string) bool {
+		*n++
+		return false
+	}
+}

@@ -185,4 +185,20 @@
 // checksum-bypassing bit flip — yields either output bit-identical to
 // the serial reference or a clean typed error with the exact decided
 // prefix; never silent divergence, never a leaked goroutine.
+//
+// # Durable state export
+//
+// ExportState flushes a maintained spanner's pending batch and captures
+// its complete dynamic state — the surviving input, the accepted edge
+// sequence in the stable tombstone id space, the pair-count histogram,
+// the sparse bound rows with their proof epochs, the hub arrays, and the
+// batching policy — as a SpannerState; ImportIncremental reconstructs an
+// equivalent IncrementalSpanner from one. The round trip is exact: the
+// import re-registers the cached rows under the same proof prefixes the
+// export recorded, so the reconstructed spanner certifies, replays, and
+// answers Result bit-identically to the original (ResultDigest is the
+// 64-bit fingerprint tests compare). internal/persist builds the on-disk
+// layer on top of this pair: versioned digest-guarded snapshots of a
+// SpannerState plus a write-ahead log of dynamic operations, with
+// crash-recovery equivalence enforced by the internal/chaos Kill suite.
 package core

@@ -88,6 +88,9 @@ type HubOracle struct {
 	// engine stats, which are zeroed per build or insertion).
 	relaxed   int
 	refreshes int
+	// reselected counts hubs re-sampled after their vertex was deleted
+	// (lifetime; surfaced as Stats.HubsReselected).
+	reselected int
 }
 
 // NewHubOracle returns an oracle over the given hub vertices, attached to
@@ -223,15 +226,20 @@ func (o *HubOracle) pruneCheckpoints(keep int) {
 	o.ckpts = kept
 }
 
-// ReplaceHubs retires every hub whose vertex is marked dead, promoting
-// the smallest live vertex not already serving as a hub in its place.
-// Promotion invalidates all rows (stale) and drops every snapshot: a
-// snapshot's rows are distances from the old hub set, and restoring one
-// under the new set would certify pairs through a vertex that no longer
-// exists. When no live vertex remains to promote the dead hub is kept —
+// ReplaceHubs retires every hub whose vertex is marked dead, promoting a
+// replacement chosen by pick — called with the current hub membership
+// (surviving hubs plus promotions so far) and returning the vertex to
+// promote, or a negative value when no candidate remains. The incremental
+// engine passes the same farthest-point rule the initial selection used
+// (see SelectMetricHubs), so coverage is re-sampled rather than defaulting
+// to low ids; a nil pick falls back to the smallest live vertex not
+// already serving. Promotion invalidates all rows (stale) and drops every
+// snapshot: a snapshot's rows are distances from the old hub set, and
+// restoring one under the new set would certify pairs through a vertex
+// that no longer exists. When no candidate remains the dead hub is kept —
 // the preserved prefix never touches dead vertices, so its row degrades
 // to all-+Inf and certifies nothing, which is merely slow, never wrong.
-func (o *HubOracle) ReplaceHubs(dead []bool, live []int) {
+func (o *HubOracle) ReplaceHubs(dead []bool, live []int, pick func(isHub map[int]bool) int) {
 	isHub := make(map[int]bool, len(o.hubs))
 	for _, h := range o.hubs {
 		isHub[h] = true
@@ -242,15 +250,23 @@ func (o *HubOracle) ReplaceHubs(dead []bool, live []int) {
 		if h >= len(dead) || !dead[h] {
 			continue
 		}
-		for li < len(live) && isHub[live[li]] {
-			li++
+		nh := -1
+		if pick != nil {
+			nh = pick(isHub)
+		} else {
+			for li < len(live) && isHub[live[li]] {
+				li++
+			}
+			if li < len(live) {
+				nh = live[li]
+			}
 		}
-		if li >= len(live) {
+		if nh < 0 || isHub[nh] {
 			continue
 		}
-		nh := live[li]
 		isHub[nh] = true
 		o.hubs[i] = nh
+		o.reselected++
 		replaced = true
 	}
 	if replaced {
@@ -258,6 +274,10 @@ func (o *HubOracle) ReplaceHubs(dead []bool, live []int) {
 		o.stale = true
 	}
 }
+
+// Reselected reports the lifetime number of hubs re-sampled by
+// ReplaceHubs after their vertex was deleted.
+func (o *HubOracle) Reselected() int { return o.reselected }
 
 // Hubs returns the oracle's hub vertices (read-only).
 func (o *HubOracle) Hubs() []int { return o.hubs }

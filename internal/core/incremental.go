@@ -735,10 +735,11 @@ func (s *IncrementalSpanner) Delete(points ...int) error {
 	s.dyn.kill(sids)
 	s.anyDeleted = true
 	if s.oracle != nil {
-		// Hubs on deleted vertices are replaced by fresh live vertices and
-		// every hub array rebuilt (the replacement invalidates the rows
-		// and the checkpoint ring wholesale; see ReplaceHubs).
-		s.oracle.ReplaceHubs(s.dyn.dead, s.dyn.live)
+		// Hubs on deleted vertices are re-sampled by the same
+		// farthest-point rule the initial selection used and every hub
+		// array rebuilt (the replacement invalidates the rows and the
+		// checkpoint ring wholesale; see ReplaceHubs).
+		s.oracle.ReplaceHubs(s.dyn.dead, s.dyn.live, s.pickReplacementHub)
 	}
 	return s.notePending(cut, len(points))
 }
@@ -756,8 +757,8 @@ func (s *IncrementalSpanner) Delete(points ...int) error {
 // value, exactly as in Delete. Deleting only edges the greedy scan had
 // rejected costs no replay work beyond the bookkeeping.
 func (s *IncrementalSpanner) DeleteEdges(edges ...graph.Edge) error {
-	if s.g == nil {
-		return fmt.Errorf("core: DeleteEdges on a metric-mode incremental spanner (use Delete)")
+	if err := s.ValidateDeleteEdges(edges...); err != nil {
+		return err
 	}
 	if len(edges) == 0 {
 		return nil
@@ -765,18 +766,6 @@ func (s *IncrementalSpanner) DeleteEdges(edges ...graph.Edge) error {
 	want := make(map[graph.Edge]int, len(edges))
 	for _, e := range edges {
 		want[e.Canonical()]++
-	}
-	have := make(map[graph.Edge]int, len(want))
-	for _, e := range s.g.Edges() {
-		if _, ok := want[e]; ok {
-			have[e]++
-		}
-	}
-	for e, k := range want {
-		if have[e] < k {
-			return fmt.Errorf("core: DeleteEdges wants %d copies of edge (%d, %d, %v), graph has %d: %w",
-				k, e.U, e.V, e.W, have[e], graph.ErrInvalidInput)
-		}
 	}
 	// The cut is the earliest accepted edge whose value matches a deleted
 	// one. On multigraphs this is conservative — the accepted copy may be
@@ -799,6 +788,67 @@ func (s *IncrementalSpanner) DeleteEdges(edges ...graph.Edge) error {
 		s.counts.remove(e.W)
 	}
 	return s.notePending(cut, len(edges))
+}
+
+// ValidateDeleteEdges checks a DeleteEdges batch against the current
+// graph without changing any state: every edge must match an existing
+// edge exactly (endpoints up to orientation, weight bit-identical), and a
+// batch may not request more copies of a parallel edge than the graph
+// holds. DeleteEdges performs exactly this check before mutating, so a
+// batch this method accepts cannot subsequently be rejected — which is
+// what lets a write-ahead log record the operation before applying it.
+func (s *IncrementalSpanner) ValidateDeleteEdges(edges ...graph.Edge) error {
+	if s.g == nil {
+		return fmt.Errorf("core: DeleteEdges on a metric-mode incremental spanner (use Delete)")
+	}
+	want := make(map[graph.Edge]int, len(edges))
+	for _, e := range edges {
+		want[e.Canonical()]++
+	}
+	have := make(map[graph.Edge]int, len(want))
+	for _, e := range s.g.Edges() {
+		if _, ok := want[e]; ok {
+			have[e]++
+		}
+	}
+	for e, k := range want {
+		if have[e] < k {
+			return fmt.Errorf("core: DeleteEdges wants %d copies of edge (%d, %d, %v), graph has %d: %w",
+				k, e.U, e.V, e.W, have[e], graph.ErrInvalidInput)
+		}
+	}
+	return nil
+}
+
+// pickReplacementHub is the deletion-time hub re-selection rule: among
+// live points not already serving as hubs, pick the one farthest from the
+// surviving hub set (maximum over candidates of the minimum distance to a
+// live hub), scanning live ids in increasing order so ties resolve to the
+// smallest id — the same ball-growth step SelectMetricHubs grows the
+// initial set by, restarted from the survivors. With no live hub left to
+// measure against every candidate is infinitely far and the smallest live
+// id wins, mirroring the initial selection's fixed starting point. The
+// minimum over the hub set is order-independent, so iterating the
+// membership map stays deterministic.
+func (s *IncrementalSpanner) pickReplacementHub(isHub map[int]bool) int {
+	best, far := -1, math.Inf(-1)
+	for _, c := range s.dyn.live {
+		if isHub[c] {
+			continue
+		}
+		minD := math.Inf(1)
+		for h := range isHub {
+			if h < len(s.dyn.dead) && !s.dyn.dead[h] {
+				if d := s.dyn.Dist(c, h); d < minD {
+					minD = d
+				}
+			}
+		}
+		if minD > far {
+			best, far = c, minD
+		}
+	}
+	return best
 }
 
 // prefixLen reports how many of the maintained accepted edges precede cut

@@ -123,6 +123,12 @@ type MetricParallelStats struct {
 	HubQueries int
 	HubSkips   int
 	HubRelaxed int
+	// HubsReselected is the oracle's lifetime count of hubs re-sampled
+	// after their vertex was deleted (see HubOracle.ReplaceHubs). Unlike
+	// the per-scan counters above it accumulates across a maintained
+	// spanner's whole history, because reselection happens at Delete time,
+	// outside any scan; one-shot builds always report 0.
+	HubsReselected int
 	// Degradations logs, in order, each step the engine took down the
 	// resource-budget ladder (supply streamed, batch width floored, hub
 	// oracle dropped, cached rows dropped, ...). Empty for unbudgeted or
@@ -831,6 +837,7 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) (err error) {
 		}
 		if oracle != nil {
 			stats.HubRelaxed = oracle.Relaxed() - relaxed0
+			stats.HubsReselected = oracle.Reselected()
 		}
 	}
 	// checkBudget walks the in-scan degradation ladder at batch

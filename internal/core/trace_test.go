@@ -3,7 +3,6 @@ package core
 import (
 	"bufio"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
 	"os"
@@ -132,28 +131,9 @@ func decodeTrace(data []byte) (kind int, ops []traceOp) {
 	return kind, ops
 }
 
-// resultDigest is an order-sensitive FNV-1a digest of everything the
-// bit-identity contract pins: vertex count, edge sequence with exact
-// weights, weight sum, and examined-candidate count.
-func resultDigest(res *Result) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v uint64) {
-		for i := range buf {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	put(uint64(res.N))
-	put(uint64(res.EdgesExamined))
-	put(math.Float64bits(res.Weight))
-	for _, e := range res.Edges {
-		put(uint64(e.U))
-		put(uint64(e.V))
-		put(math.Float64bits(e.W))
-	}
-	return h.Sum64()
-}
+// resultDigest compares spanners for bit-identity; it is the exported
+// ResultDigest the persistence and crash-recovery suites share.
+func resultDigest(res *Result) uint64 { return ResultDigest(res) }
 
 // runTrace executes one trace against a maintained spanner and the
 // from-scratch serial reference, differential-checking every quiesce

@@ -113,6 +113,50 @@ func (m *Matrix) N() int { return len(m.d) }
 // Dist returns the stored distance between i and j.
 func (m *Matrix) Dist(i, j int) float64 { return m.d[i][j] }
 
+// FlatMatrix is a Metric backed by a flat row-major distance array. Unlike
+// Matrix it admits +Inf off the diagonal — the "disconnected" sentinel the
+// greedy engines already handle as a last-bucket candidate — so it can
+// represent the restriction of any engine-visible metric, including ones a
+// snapshot must round-trip bit-exactly. NaN and negative entries are still
+// rejected.
+type FlatMatrix struct {
+	n int
+	d []float64
+}
+
+// NewFlatMatrix wraps the row-major n x n distance array d (not copied).
+// It validates length, symmetry, zero diagonal, and non-negativity, and
+// rejects NaN; +Inf entries are allowed.
+func NewFlatMatrix(n int, d []float64) (*FlatMatrix, error) {
+	if n < 0 || len(d) != n*n {
+		return nil, fmt.Errorf("metric: flat matrix has %d entries, want %d x %d: %w", len(d), n, n, graph.ErrInvalidInput)
+	}
+	for i := 0; i < n; i++ {
+		if d[i*n+i] != 0 {
+			return nil, fmt.Errorf("metric: nonzero diagonal at %d: %w", i, graph.ErrInvalidInput)
+		}
+		for j := i + 1; j < n; j++ {
+			w := d[i*n+j]
+			if math.IsNaN(w) || w < 0 {
+				return nil, fmt.Errorf("metric: invalid distance %v at (%d, %d): %w", w, i, j, graph.ErrInvalidInput)
+			}
+			if w != d[j*n+i] {
+				return nil, fmt.Errorf("metric: asymmetric at (%d, %d): %w", i, j, graph.ErrInvalidInput)
+			}
+		}
+	}
+	return &FlatMatrix{n: n, d: d}, nil
+}
+
+// N reports the number of points.
+func (m *FlatMatrix) N() int { return m.n }
+
+// Dist returns the stored distance between i and j.
+func (m *FlatMatrix) Dist(i, j int) float64 { return m.d[i*m.n+j] }
+
+// Flat returns the backing row-major array (shared storage; do not modify).
+func (m *FlatMatrix) Flat() []float64 { return m.d }
+
 // FromGraph returns the shortest-path metric M_G induced by a connected
 // graph g (Section 2 of the paper). It materializes the full n x n distance
 // matrix via APSP. Returns graph.ErrDisconnected if g is not connected.

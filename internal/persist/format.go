@@ -1,0 +1,696 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Snapshot format, version 1. All integers are little-endian.
+//
+//	[0:8)    magic "GSPSNAP1"
+//	[8:12)   u32 format version (1)
+//	[12:16)  u32 section count C
+//	16 + 32i  per-section table entry i: u32 id, u32 reserved,
+//	          u64 offset, u64 length, u64 FNV-1a digest of the payload
+//	16 + 32C  u64 header digest (FNV-1a of everything before it)
+//	...      section payloads at their table offsets
+//
+// The header digest makes the table itself tamper-evident, and doubles as
+// the snapshot's identity: the WAL header stores the digest of the whole
+// snapshot file, binding log to state. Unknown format versions are
+// rejected with ErrUnsupportedVersion before the table is trusted;
+// everything else that fails to parse wraps core.ErrCorruptState and
+// names the offending section.
+
+const snapVersion = 1
+
+var snapMagic = [8]byte{'G', 'S', 'P', 'S', 'N', 'A', 'P', '1'}
+
+// Section ids. The meta section is mandatory; the rest are present per
+// mode (see encode). Unknown ids in a version-1 file are a corruption.
+const (
+	secMeta    = 1
+	secPoints  = 2
+	secMatrix  = 3
+	secGraph   = 4
+	secIDSpace = 5
+	secEdges   = 6
+	secHist    = 7
+	secBounds  = 8
+	secHubs    = 9
+)
+
+var sectionNames = map[uint32]string{
+	secMeta:    "meta",
+	secPoints:  "points",
+	secMatrix:  "matrix",
+	secGraph:   "graph",
+	secIDSpace: "idspace",
+	secEdges:   "edges",
+	secHist:    "histogram",
+	secBounds:  "bounds",
+	secHubs:    "hubs",
+}
+
+// maxDecodeElems bounds every element count a decoder trusts before
+// allocating (stable-id capacity, vertex count, hub count, ...): a fuzzed
+// or corrupted header must not be able to demand an allocation unrelated
+// to the input's size. Real states beyond this need a format bump.
+const maxDecodeElems = 1 << 21
+
+// ErrUnsupportedVersion reports a snapshot or WAL whose format version
+// this build does not understand.
+var ErrUnsupportedVersion = errors.New("persist: unsupported format version")
+
+// ErrNoState reports a directory with no snapshot to recover from.
+var ErrNoState = errors.New("persist: no snapshot found")
+
+// ErrSimulatedCrash reports that an injected crash hook fired (see Hooks);
+// the Durable is dead and the directory holds the crash point's surviving
+// disk state.
+var ErrSimulatedCrash = errors.New("persist: simulated crash injected")
+
+// corruptf builds a decode/validation error wrapping core.ErrCorruptState.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("persist: "+format+": %w", append(args, core.ErrCorruptState)...)
+}
+
+// fnv1a is the repo's standard FNV-1a 64 digest over raw bytes.
+func fnv1a(b []byte) uint64 {
+	h := uint64(1469598103934665603)
+	for _, x := range b {
+		h ^= uint64(x)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SnapshotDigest is the identity digest of an encoded snapshot, stored in
+// the bound WAL's header.
+func SnapshotDigest(data []byte) uint64 { return fnv1a(data) }
+
+// buf is the append-only little-endian encoder.
+type buf struct{ b []byte }
+
+func (w *buf) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *buf) u32(v uint32) { w.b = append(w.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+func (w *buf) u64(v uint64) {
+	w.b = append(w.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+func (w *buf) u16(v uint16)  { w.b = append(w.b, byte(v), byte(v>>8)) }
+func (w *buf) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+// rdr is the bounds-checked little-endian decoder over one section
+// payload; the first short read poisons it and every later read fails.
+type rdr struct {
+	b    []byte
+	pos  int
+	sec  string
+	fail error
+}
+
+func (r *rdr) errTruncated() error {
+	if r.fail == nil {
+		r.fail = corruptf("section %s truncated at byte %d", r.sec, r.pos)
+	}
+	return r.fail
+}
+
+func (r *rdr) take(n int) []byte {
+	if r.fail != nil || n < 0 || r.pos+n > len(r.b) {
+		r.errTruncated()
+		return nil
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+func (r *rdr) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *rdr) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return uint16(b[0]) | uint16(b[1])<<8
+}
+
+func (r *rdr) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func (r *rdr) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func (r *rdr) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// count reads an element count and checks it against the global ceiling
+// and the bytes actually remaining (each element needs at least per
+// bytes), so no corrupted count can demand an out-of-proportion
+// allocation.
+func (r *rdr) count(what string, per int) (int, error) {
+	v := r.u64()
+	if r.fail != nil {
+		return 0, r.fail
+	}
+	if v > maxDecodeElems {
+		r.fail = corruptf("section %s: %s count %d exceeds limit %d", r.sec, what, v, maxDecodeElems)
+		return 0, r.fail
+	}
+	n := int(v)
+	if per > 0 && n > (len(r.b)-r.pos)/per {
+		r.fail = corruptf("section %s: %s count %d exceeds remaining payload", r.sec, what, n)
+		return 0, r.fail
+	}
+	return n, nil
+}
+
+// done checks the payload was consumed exactly; trailing garbage in a
+// digested section means the writer and reader disagree on the format.
+func (r *rdr) done() error {
+	if r.fail != nil {
+		return r.fail
+	}
+	if r.pos != len(r.b) {
+		return corruptf("section %s has %d trailing bytes", r.sec, len(r.b)-r.pos)
+	}
+	return nil
+}
+
+// snapMeta is the decoded meta section: everything scalar about the
+// state, plus the WAL op sequence number the snapshot was taken at.
+type snapMeta struct {
+	graphMode  bool
+	metricKind core.MetricKind
+	policy     core.IncrementalPolicy
+	t          float64
+	opSeq      uint64
+	capN       int
+	liveN      int
+	dim        int
+	graphN     int
+	examined   int
+	weight     float64
+	hubEpoch   int
+	hubsResel  int
+}
+
+// EncodeSnapshot serializes an exported state (with the WAL position
+// opSeq it corresponds to) into the version-1 snapshot format. Encoding
+// is deterministic: the same state always produces the same bytes, which
+// is what lets golden files guard format drift byte-for-byte.
+func EncodeSnapshot(st *core.SpannerState, opSeq uint64) []byte {
+	type section struct {
+		id      uint32
+		payload []byte
+	}
+	var secs []section
+	add := func(id uint32, w *buf) { secs = append(secs, section{id, w.b}) }
+
+	meta := &buf{}
+	if st.GraphMode {
+		meta.u8(1)
+	} else {
+		meta.u8(0)
+	}
+	meta.u8(uint8(st.MetricKind))
+	if st.Policy.CoalesceUntilQuery {
+		meta.u8(1)
+	} else {
+		meta.u8(0)
+	}
+	meta.u64(uint64(st.Policy.MinBatch))
+	meta.f64(st.T)
+	meta.u64(opSeq)
+	meta.u64(uint64(st.Cap))
+	meta.u64(uint64(len(st.Live)))
+	meta.u64(uint64(st.Dim))
+	meta.u64(uint64(st.GraphN))
+	meta.u64(uint64(st.EdgesExamined))
+	meta.f64(st.Weight)
+	meta.u64(uint64(st.HubEpoch))
+	meta.u64(uint64(st.HubsReselected))
+	add(secMeta, meta)
+
+	edges := &buf{}
+	edges.u64(uint64(len(st.Edges)))
+	for _, e := range st.Edges {
+		edges.u64(uint64(e.U))
+		edges.u64(uint64(e.V))
+		edges.f64(e.W)
+	}
+	add(secEdges, edges)
+
+	if st.GraphMode {
+		gw := &buf{}
+		gw.u64(uint64(len(st.GraphEdges)))
+		for _, e := range st.GraphEdges {
+			gw.u64(uint64(e.U))
+			gw.u64(uint64(e.V))
+			gw.f64(e.W)
+		}
+		add(secGraph, gw)
+	} else {
+		ids := &buf{}
+		for _, sid := range st.Live {
+			ids.u64(uint64(sid))
+		}
+		add(secIDSpace, ids)
+		switch st.MetricKind {
+		case core.MetricEuclidean:
+			pw := &buf{}
+			for _, c := range st.Coords {
+				pw.f64(c)
+			}
+			add(secPoints, pw)
+		default:
+			mw := &buf{}
+			for _, c := range st.Matrix {
+				mw.f64(c)
+			}
+			add(secMatrix, mw)
+		}
+		hw := &buf{}
+		hw.u64(uint64(len(st.HistExp)))
+		for i, e := range st.HistExp {
+			hw.u32(uint32(e))
+			hw.u64(uint64(st.HistCount[i]))
+		}
+		hw.u64(uint64(st.HistZeros))
+		hw.u64(uint64(st.HistInfs))
+		add(secHist, hw)
+
+		bw := &buf{}
+		for _, ep := range st.BoundEpochs {
+			bw.u64(uint64(ep))
+		}
+		materialized := 0
+		for _, row := range st.BoundRows {
+			if row != nil {
+				materialized++
+			}
+		}
+		bw.u64(uint64(materialized))
+		for u, row := range st.BoundRows {
+			if row == nil {
+				continue
+			}
+			bw.u64(uint64(u))
+			for _, h := range row {
+				bw.u16(h)
+			}
+		}
+		add(secBounds, bw)
+	}
+
+	if len(st.Hubs) > 0 {
+		hw := &buf{}
+		hw.u64(uint64(len(st.Hubs)))
+		for _, h := range st.Hubs {
+			hw.u64(uint64(h))
+		}
+		for _, row := range st.HubRows {
+			for _, x := range row {
+				hw.f64(x)
+			}
+		}
+		add(secHubs, hw)
+	}
+
+	// Assemble: header, table, header digest, payloads.
+	tableEnd := 16 + 32*len(secs)
+	out := &buf{b: make([]byte, 0, tableEnd+8+totalLen(secs, func(s section) int { return len(s.payload) }))}
+	out.b = append(out.b, snapMagic[:]...)
+	out.u32(snapVersion)
+	out.u32(uint32(len(secs)))
+	off := uint64(tableEnd + 8)
+	for _, s := range secs {
+		out.u32(s.id)
+		out.u32(0)
+		out.u64(off)
+		out.u64(uint64(len(s.payload)))
+		out.u64(fnv1a(s.payload))
+		off += uint64(len(s.payload))
+	}
+	out.u64(fnv1a(out.b))
+	for _, s := range secs {
+		out.b = append(out.b, s.payload...)
+	}
+	return out.b
+}
+
+// totalLen sums a per-section length without generics noise.
+func totalLen[T any](xs []T, f func(T) int) int {
+	n := 0
+	for _, x := range xs {
+		n += f(x)
+	}
+	return n
+}
+
+// DecodeSnapshot parses and digest-verifies a version-1 snapshot,
+// returning the state and the WAL op sequence it was taken at. Arbitrary
+// input bytes produce a typed error — ErrUnsupportedVersion for a foreign
+// version, otherwise an error wrapping core.ErrCorruptState naming the
+// offending section — never a panic or an allocation out of proportion to
+// the input. The returned state is structurally plausible but not deeply
+// validated; core.ImportIncremental owns semantic validation.
+func DecodeSnapshot(data []byte) (*core.SpannerState, uint64, error) {
+	if len(data) < 16 {
+		return nil, 0, corruptf("snapshot header truncated (%d bytes)", len(data))
+	}
+	var magic [8]byte
+	copy(magic[:], data[:8])
+	if magic != snapMagic {
+		return nil, 0, corruptf("bad snapshot magic %q", string(magic[:]))
+	}
+	version := leU32(data[8:])
+	if version != snapVersion {
+		return nil, 0, fmt.Errorf("persist: snapshot format version %d (this build reads %d): %w", version, snapVersion, ErrUnsupportedVersion)
+	}
+	nsec := leU32(data[12:])
+	if nsec > uint32(len(data)/32) {
+		return nil, 0, corruptf("section table of %d entries exceeds file size", nsec)
+	}
+	tableEnd := 16 + 32*int(nsec)
+	if tableEnd+8 > len(data) {
+		return nil, 0, corruptf("section table truncated")
+	}
+	if leU64(data[tableEnd:]) != fnv1a(data[:tableEnd]) {
+		return nil, 0, corruptf("header digest mismatch")
+	}
+	sections := make(map[uint32][]byte, nsec)
+	for i := 0; i < int(nsec); i++ {
+		ent := data[16+32*i:]
+		id := leU32(ent)
+		name := sectionNames[id]
+		if name == "" {
+			return nil, 0, corruptf("unknown section id %d", id)
+		}
+		if _, dup := sections[id]; dup {
+			return nil, 0, corruptf("section %s listed twice", name)
+		}
+		off, length := leU64(ent[8:]), leU64(ent[16:])
+		if off < uint64(tableEnd+8) || off > uint64(len(data)) || length > uint64(len(data))-off {
+			return nil, 0, corruptf("section %s range [%d, +%d) outside file", name, off, length)
+		}
+		payload := data[off : off+length]
+		if fnv1a(payload) != leU64(ent[24:]) {
+			return nil, 0, corruptf("section %s digest mismatch", name)
+		}
+		sections[id] = payload
+	}
+	need := func(id uint32) (*rdr, error) {
+		p, ok := sections[id]
+		if !ok {
+			return nil, corruptf("section %s missing", sectionNames[id])
+		}
+		return &rdr{b: p, sec: sectionNames[id]}, nil
+	}
+
+	mr, err := need(secMeta)
+	if err != nil {
+		return nil, 0, err
+	}
+	var meta snapMeta
+	meta.graphMode = mr.u8() != 0
+	meta.metricKind = core.MetricKind(mr.u8())
+	meta.policy.CoalesceUntilQuery = mr.u8() != 0
+	minBatch := mr.u64()
+	meta.t = mr.f64()
+	meta.opSeq = mr.u64()
+	capN := mr.u64()
+	liveN := mr.u64()
+	dim := mr.u64()
+	graphN := mr.u64()
+	examined := mr.u64()
+	meta.weight = mr.f64()
+	hubEpoch := mr.u64()
+	hubsResel := mr.u64()
+	if err := mr.done(); err != nil {
+		return nil, 0, err
+	}
+	for _, c := range []struct {
+		name string
+		v    uint64
+	}{{"capacity", capN}, {"live count", liveN}, {"dimension", dim}, {"vertex count", graphN},
+		{"min batch", minBatch}, {"hub epoch", hubEpoch}, {"hub reselections", hubsResel}} {
+		if c.v > maxDecodeElems {
+			return nil, 0, corruptf("section meta: %s %d exceeds limit %d", c.name, c.v, maxDecodeElems)
+		}
+	}
+	if examined > math.MaxInt64/2 {
+		return nil, 0, corruptf("section meta: examined count overflows")
+	}
+	meta.capN, meta.liveN, meta.dim, meta.graphN = int(capN), int(liveN), int(dim), int(graphN)
+	meta.examined = int(examined)
+	meta.hubEpoch, meta.hubsResel = int(hubEpoch), int(hubsResel)
+	meta.policy.MinBatch = int(minBatch)
+
+	st := &core.SpannerState{
+		T:              meta.t,
+		GraphMode:      meta.graphMode,
+		Policy:         meta.policy,
+		MetricKind:     meta.metricKind,
+		Cap:            meta.capN,
+		Dim:            meta.dim,
+		GraphN:         meta.graphN,
+		Weight:         meta.weight,
+		EdgesExamined:  meta.examined,
+		HubEpoch:       meta.hubEpoch,
+		HubsReselected: meta.hubsResel,
+	}
+
+	er, err := need(secEdges)
+	if err != nil {
+		return nil, 0, err
+	}
+	if st.Edges, err = decodeEdgeList(er); err != nil {
+		return nil, 0, err
+	}
+
+	if meta.graphMode {
+		gr, err := need(secGraph)
+		if err != nil {
+			return nil, 0, err
+		}
+		if st.GraphEdges, err = decodeEdgeList(gr); err != nil {
+			return nil, 0, err
+		}
+	} else {
+		if err := decodeMetricSections(st, meta, sections, need); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	if hp, ok := sections[secHubs]; ok {
+		hr := &rdr{b: hp, sec: "hubs"}
+		rowLen := meta.capN
+		if meta.graphMode {
+			rowLen = meta.graphN
+		}
+		k, err := hr.count("hub", 8)
+		if err != nil {
+			return nil, 0, err
+		}
+		st.Hubs = make([]int, k)
+		for i := range st.Hubs {
+			v := hr.u64()
+			if v > maxDecodeElems {
+				return nil, 0, corruptf("section hubs: hub id %d out of range", v)
+			}
+			st.Hubs[i] = int(v)
+		}
+		if k > 0 && (rowLen > (len(hp)-hr.pos)/8/k) {
+			return nil, 0, corruptf("section hubs: %d rows of %d entries exceed payload", k, rowLen)
+		}
+		st.HubRows = make([][]float64, k)
+		for i := range st.HubRows {
+			row := make([]float64, rowLen)
+			for v := range row {
+				row[v] = hr.f64()
+			}
+			st.HubRows[i] = row
+		}
+		if err := hr.done(); err != nil {
+			return nil, 0, err
+		}
+	}
+	return st, meta.opSeq, nil
+}
+
+// decodeMetricSections fills the metric-mode sections: idspace, the point
+// payload (coordinates or matrix), the histogram, and the bound store.
+func decodeMetricSections(st *core.SpannerState, meta snapMeta, sections map[uint32][]byte, need func(uint32) (*rdr, error)) error {
+	ir, err := need(secIDSpace)
+	if err != nil {
+		return err
+	}
+	if len(ir.b) != 8*meta.liveN {
+		return corruptf("section idspace has %d bytes, want %d live ids", len(ir.b), meta.liveN)
+	}
+	st.Live = make([]int, meta.liveN)
+	for i := range st.Live {
+		v := ir.u64()
+		if v > maxDecodeElems {
+			return corruptf("section idspace: live id %d out of range", v)
+		}
+		st.Live[i] = int(v)
+	}
+	if err := ir.done(); err != nil {
+		return err
+	}
+
+	switch meta.metricKind {
+	case core.MetricEuclidean:
+		pr, err := need(secPoints)
+		if err != nil {
+			return err
+		}
+		if meta.dim == 0 || meta.liveN > len(pr.b)/8/max(meta.dim, 1) {
+			return corruptf("section points: %d points x dim %d exceed payload", meta.liveN, meta.dim)
+		}
+		st.Coords = make([]float64, meta.liveN*meta.dim)
+		for i := range st.Coords {
+			st.Coords[i] = pr.f64()
+		}
+		if err := pr.done(); err != nil {
+			return err
+		}
+	default:
+		// Any other kind reaches core.ImportIncremental, which rejects
+		// unknown kinds; the matrix payload decodes for MetricMatrix.
+		mr, err := need(secMatrix)
+		if err != nil {
+			return err
+		}
+		if meta.liveN > 0 && meta.liveN > len(mr.b)/8/meta.liveN {
+			return corruptf("section matrix: %d x %d entries exceed payload", meta.liveN, meta.liveN)
+		}
+		st.Matrix = make([]float64, meta.liveN*meta.liveN)
+		for i := range st.Matrix {
+			st.Matrix[i] = mr.f64()
+		}
+		if err := mr.done(); err != nil {
+			return err
+		}
+	}
+
+	hr, err := need(secHist)
+	if err != nil {
+		return err
+	}
+	nb, err := hr.count("bucket", 12)
+	if err != nil {
+		return err
+	}
+	st.HistExp = make([]int32, nb)
+	st.HistCount = make([]int64, nb)
+	for i := range st.HistExp {
+		st.HistExp[i] = int32(hr.u32())
+		c := hr.u64()
+		if c > math.MaxInt64/2 {
+			return corruptf("section histogram: bucket %d count overflows", i)
+		}
+		st.HistCount[i] = int64(c)
+	}
+	zeros, infs := hr.u64(), hr.u64()
+	if zeros > math.MaxInt64/2 || infs > math.MaxInt64/2 {
+		return corruptf("section histogram: tally overflows")
+	}
+	st.HistZeros, st.HistInfs = int64(zeros), int64(infs)
+	if err := hr.done(); err != nil {
+		return err
+	}
+
+	br, err := need(secBounds)
+	if err != nil {
+		return err
+	}
+	if meta.capN > len(br.b)/8 {
+		return corruptf("section bounds: %d epochs exceed payload", meta.capN)
+	}
+	st.BoundEpochs = make([]int, meta.capN)
+	for u := range st.BoundEpochs {
+		v := br.u64()
+		if v > maxDecodeElems {
+			return corruptf("section bounds: epoch %d out of range", v)
+		}
+		st.BoundEpochs[u] = int(v)
+	}
+	st.BoundRows = make([][]uint16, meta.capN)
+	materialized, err := br.count("row", 8)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < materialized; i++ {
+		u := br.u64()
+		if u >= uint64(meta.capN) {
+			return corruptf("section bounds: row vertex %d outside capacity %d", u, meta.capN)
+		}
+		if br.fail == nil && meta.capN > (len(br.b)-br.pos)/2 {
+			return corruptf("section bounds: row of %d entries exceeds payload", meta.capN)
+		}
+		row := make([]uint16, meta.capN)
+		for v := range row {
+			row[v] = br.u16()
+		}
+		if br.fail != nil {
+			return br.fail
+		}
+		if st.BoundRows[u] != nil {
+			return corruptf("section bounds: row %d listed twice", u)
+		}
+		st.BoundRows[u] = row
+	}
+	return br.done()
+}
+
+// decodeEdgeList reads a u64-counted edge list (u, v, weight bits).
+func decodeEdgeList(r *rdr) ([]graph.Edge, error) {
+	n, err := r.count("edge", 24)
+	if err != nil {
+		return nil, err
+	}
+	edges := make([]graph.Edge, n)
+	for i := range edges {
+		u, v := r.u64(), r.u64()
+		w := r.f64()
+		if u > maxDecodeElems || v > maxDecodeElems {
+			return nil, corruptf("section %s: edge %d endpoints out of range", r.sec, i)
+		}
+		edges[i] = graph.Edge{U: int(u), V: int(v), W: w}
+	}
+	return edges, r.done()
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,266 @@
+package persist
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// WAL format, version 1. All integers are little-endian.
+//
+// Header (40 bytes, written atomically when the generation is created):
+//
+//	[0:8)    magic "GSPWAL01"
+//	[8:12)   u32 format version (1)
+//	[12:16)  u32 reserved
+//	[16:24)  u64 generation number
+//	[24:32)  u64 digest of the bound snapshot's file bytes
+//	[32:40)  u64 FNV-1a digest of bytes [0:32)
+//
+// The snapshot digest binds the log to the exact state it extends: a WAL
+// paired with the wrong snapshot (a partially-completed checkpoint, a
+// hand-copied file) is rejected rather than replayed onto a state it was
+// never logged against.
+//
+// Records follow, each {u32 payload length, u64 FNV-1a payload digest,
+// payload}. The digest makes torn appends self-delimiting: a crash
+// mid-append leaves a record whose digest cannot verify, and recovery
+// truncates the log at that exact prefix. Payloads start with an op byte:
+//
+//	1 insert points   u64 k, then k*dim coordinate f64s
+//	2 insert matrix   u64 k, u64 base, then for z in [0,k) the f64
+//	                  distances from element base+z to elements [0,base+z)
+//	3 delete          u64 c, then c u64 dense positions
+//	4 insert edges    u64 c, then c of {u64 u, u64 v, f64 w}
+//	5 delete edges    same shape as insert edges
+//	6 flush           (no fields)
+//	7 set policy      u8 coalesce flag, u64 min batch
+const walVersion = 1
+
+var walMagic = [8]byte{'G', 'S', 'P', 'W', 'A', 'L', '0', '1'}
+
+const walHeaderLen = 40
+
+// walRecHdrLen is the fixed prefix of every record: u32 length + u64 digest.
+const walRecHdrLen = 12
+
+// maxWalRecord bounds a single record's payload; a torn length field must
+// not be able to claim the rest of the file is one record.
+const maxWalRecord = 1 << 28
+
+const (
+	walInsertPoints = 1
+	walInsertMatrix = 2
+	walDelete       = 3
+	walInsertEdges  = 4
+	walDeleteEdges  = 5
+	walFlush        = 6
+	walPolicy       = 7
+)
+
+// walOp is one decoded log record: exactly one of the payload groups is
+// populated, per kind.
+type walOp struct {
+	kind   byte
+	coords []float64    // walInsertPoints: k*dim coordinates, point-major
+	k      int          // walInsertPoints / walInsertMatrix: insertion count
+	base   int          // walInsertMatrix: dense size before the insert
+	rows   [][]float64  // walInsertMatrix: row z holds base+z distances
+	dense  []int        // walDelete: dense positions, as passed to Delete
+	edges  []graph.Edge // walInsertEdges / walDeleteEdges
+	policy core.IncrementalPolicy
+}
+
+// encodeWalHeader builds the 40-byte generation header.
+func encodeWalHeader(gen uint64, snapDigest uint64) []byte {
+	w := &buf{b: make([]byte, 0, walHeaderLen)}
+	w.b = append(w.b, walMagic[:]...)
+	w.u32(walVersion)
+	w.u32(0)
+	w.u64(gen)
+	w.u64(snapDigest)
+	w.u64(fnv1a(w.b))
+	return w.b
+}
+
+// decodeWalHeader verifies a generation header and returns the generation
+// and bound snapshot digest.
+func decodeWalHeader(data []byte) (gen, snapDigest uint64, err error) {
+	if len(data) < walHeaderLen {
+		return 0, 0, corruptf("wal header truncated (%d bytes)", len(data))
+	}
+	var magic [8]byte
+	copy(magic[:], data[:8])
+	if magic != walMagic {
+		return 0, 0, corruptf("bad wal magic %q", string(magic[:]))
+	}
+	if v := leU32(data[8:]); v != walVersion {
+		return 0, 0, fmt.Errorf("persist: wal format version %d (this build reads %d): %w", v, walVersion, ErrUnsupportedVersion)
+	}
+	if leU64(data[32:]) != fnv1a(data[:32]) {
+		return 0, 0, corruptf("wal header digest mismatch")
+	}
+	return leU64(data[16:]), leU64(data[24:]), nil
+}
+
+// encodeWalRecord wraps an op payload in the length+digest record frame.
+func encodeWalRecord(op walOp) []byte {
+	p := &buf{}
+	p.u8(op.kind)
+	switch op.kind {
+	case walInsertPoints:
+		p.u64(uint64(op.k))
+		for _, c := range op.coords {
+			p.f64(c)
+		}
+	case walInsertMatrix:
+		p.u64(uint64(op.k))
+		p.u64(uint64(op.base))
+		for _, row := range op.rows {
+			for _, d := range row {
+				p.f64(d)
+			}
+		}
+	case walDelete:
+		p.u64(uint64(len(op.dense)))
+		for _, d := range op.dense {
+			p.u64(uint64(d))
+		}
+	case walInsertEdges, walDeleteEdges:
+		p.u64(uint64(len(op.edges)))
+		for _, e := range op.edges {
+			p.u64(uint64(e.U))
+			p.u64(uint64(e.V))
+			p.f64(e.W)
+		}
+	case walPolicy:
+		if op.policy.CoalesceUntilQuery {
+			p.u8(1)
+		} else {
+			p.u8(0)
+		}
+		p.u64(uint64(op.policy.MinBatch))
+	case walFlush:
+		// no fields
+	default:
+		panic("persist: encodeWalRecord: unknown op kind")
+	}
+	w := &buf{b: make([]byte, 0, walRecHdrLen+len(p.b))}
+	w.u32(uint32(len(p.b)))
+	w.u64(fnv1a(p.b))
+	w.b = append(w.b, p.b...)
+	return w.b
+}
+
+// decodeWalPayload parses one digest-verified record payload. dim is the
+// snapshot's ambient dimension (0 outside Euclidean mode); a structurally
+// invalid payload — which a torn write cannot produce once the digest
+// verified — is a corruption, not a truncation.
+func decodeWalPayload(payload []byte, dim int) (walOp, error) {
+	r := &rdr{b: payload, sec: "wal record"}
+	op := walOp{kind: r.u8()}
+	switch op.kind {
+	case walInsertPoints:
+		k, err := r.count("point", max(8*dim, 1))
+		if err != nil {
+			return op, err
+		}
+		if dim == 0 {
+			return op, corruptf("wal insert-points record in a dimensionless state")
+		}
+		op.k = k
+		op.coords = make([]float64, k*dim)
+		for i := range op.coords {
+			op.coords[i] = r.f64()
+		}
+	case walInsertMatrix:
+		k, err := r.count("row", 0)
+		if err != nil {
+			return op, err
+		}
+		base := r.u64()
+		if base > maxDecodeElems {
+			return op, corruptf("wal record: matrix base %d exceeds limit", base)
+		}
+		op.k, op.base = k, int(base)
+		// Total distance count k*base + k*(k-1)/2 must fit the payload.
+		rem := (len(payload) - r.pos) / 8
+		if k > 0 && (op.base > rem/k || k*op.base+k*(k-1)/2 > rem) {
+			return op, corruptf("wal record: %d matrix rows exceed payload", k)
+		}
+		op.rows = make([][]float64, k)
+		for z := range op.rows {
+			row := make([]float64, op.base+z)
+			for i := range row {
+				row[i] = r.f64()
+			}
+			op.rows[z] = row
+		}
+	case walDelete:
+		c, err := r.count("position", 8)
+		if err != nil {
+			return op, err
+		}
+		op.dense = make([]int, c)
+		for i := range op.dense {
+			v := r.u64()
+			if v > maxDecodeElems {
+				return op, corruptf("wal record: delete position %d exceeds limit", v)
+			}
+			op.dense[i] = int(v)
+		}
+	case walInsertEdges, walDeleteEdges:
+		var err error
+		if op.edges, err = decodeEdgeList(r); err != nil {
+			return op, err
+		}
+		return op, nil // decodeEdgeList already consumed exactly
+	case walPolicy:
+		op.policy.CoalesceUntilQuery = r.u8() != 0
+		mb := r.u64()
+		if mb > maxDecodeElems {
+			return op, corruptf("wal record: min batch %d exceeds limit", mb)
+		}
+		op.policy.MinBatch = int(mb)
+	case walFlush:
+		// no fields
+	default:
+		if r.fail != nil {
+			return op, r.fail
+		}
+		return op, corruptf("wal record: unknown op kind %d", op.kind)
+	}
+	return op, r.done()
+}
+
+// scanWal splits a WAL file's bytes into the verified header plus the
+// longest valid record prefix. A torn or digest-failing record ends the
+// scan: validLen is the byte offset of the first invalid record (i.e. the
+// length recovery truncates the file to), and records holds only the
+// still-undecoded verified payloads. Structural validity of each payload
+// is the replayer's to check — this layer only proves the bytes were
+// completely written.
+func scanWal(data []byte) (gen, snapDigest uint64, records [][]byte, validLen int64, err error) {
+	gen, snapDigest, err = decodeWalHeader(data)
+	if err != nil {
+		return 0, 0, nil, 0, err
+	}
+	pos := walHeaderLen
+	for {
+		if pos+walRecHdrLen > len(data) {
+			break
+		}
+		n := int(leU32(data[pos:]))
+		if n > maxWalRecord || pos+walRecHdrLen+n > len(data) {
+			break
+		}
+		payload := data[pos+walRecHdrLen : pos+walRecHdrLen+n]
+		if fnv1a(payload) != leU64(data[pos+4:]) {
+			break
+		}
+		records = append(records, payload)
+		pos += walRecHdrLen + n
+	}
+	return gen, snapDigest, records, int64(pos), nil
+}

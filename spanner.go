@@ -33,6 +33,11 @@
 //     disturbs — deletions rebase cached state backward onto
 //     checkpointed snapshots — with the result bit-identical to a
 //     from-scratch greedy build on the surviving input.
+//   - Save / Load / OpenDurable — the durability layer for the
+//     maintained spanner: versioned, digest-guarded binary snapshots of
+//     the full dynamic state plus a write-ahead log of dynamic
+//     operations, so a process can stop (or crash) at any instant and
+//     resume with a state bit-identical to the uninterrupted run.
 //   - ApproxGreedy — the O(n log n)-style approximate-greedy algorithm for
 //     doubling metrics (Section 5, Theorem 6), with constant lightness and
 //     degree.
@@ -54,12 +59,15 @@
 package spanner
 
 import (
+	"errors"
 	"math/rand"
+	"os"
 
 	"repro/internal/approx"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/metric"
+	"repro/internal/persist"
 	"repro/internal/verify"
 )
 
@@ -99,8 +107,18 @@ var (
 	// error instead of crashing the process.
 	ErrEnginePanic = core.ErrEnginePanic
 	// ErrCorruptState is wrapped when a guarded bound row fails its
-	// checksum (see MetricParallelOptions.GuardRows).
+	// checksum (see MetricParallelOptions.GuardRows) and when a snapshot
+	// or write-ahead-log record fails its digest or structural checks
+	// during Load or OpenDurable recovery.
 	ErrCorruptState = core.ErrCorruptState
+	// ErrUnsupportedVersion is wrapped when a snapshot declares a format
+	// version this build does not know; the file is well-formed, just
+	// newer — nothing is truncated or repaired.
+	ErrUnsupportedVersion = persist.ErrUnsupportedVersion
+	// ErrNoState is wrapped when OpenDurable finds no usable snapshot in
+	// the directory; with a build function supplied the durable spanner
+	// is created fresh instead of surfacing it.
+	ErrNoState = persist.ErrNoState
 )
 
 // CandidateSource re-exports the streaming candidate-supply interface: a
@@ -303,6 +321,87 @@ func NewIncrementalGraph(g *Graph, t float64, workers int) (*Incremental, error)
 // controls; Source and Materialize are rejected.
 func NewIncrementalGraphOpts(g *Graph, t float64, opts ParallelOptions) (*Incremental, error) {
 	return core.NewIncrementalGraph(g, t, opts)
+}
+
+// Save writes the complete state of a maintained spanner to path as a
+// versioned binary snapshot: the accepted edge list, the tombstone id
+// space, the pair-count histogram, the cached bound rows with their
+// proof epochs, the hub arrays, and the batching policy — everything a
+// Load needs to resume dynamic operation without re-running the greedy
+// scan. The write is atomic (temp file + fsync + rename + directory
+// fsync) and every section carries its own digest, so a torn or
+// corrupted file fails Load with ErrCorruptState instead of producing a
+// wrong spanner. The spanner's pending batch is flushed first.
+func Save(s *Incremental, path string) error {
+	st, err := s.ExportState()
+	if err != nil {
+		return err
+	}
+	return persist.WriteFileAtomic(path, persist.EncodeSnapshot(st, 0), 0o644)
+}
+
+// Load reads a snapshot written by Save and reconstructs the maintained
+// spanner: same result, same counters, same cached certification state,
+// ready for further insertions and deletions. workers selects the replay
+// engine's concurrency (0 = GOMAXPROCS). A snapshot from a newer format
+// version fails with ErrUnsupportedVersion; any digest or structural
+// failure with ErrCorruptState.
+func Load(path string, workers int) (*Incremental, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	st, _, err := persist.DecodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	return core.ImportIncremental(st,
+		core.MetricParallelOptions{Workers: workers},
+		core.ParallelOptions{Workers: workers})
+}
+
+// Durable re-exports the crash-safe maintained spanner: an Incremental
+// wrapped in a persistence directory holding a versioned snapshot plus a
+// write-ahead log of dynamic operations. Every mutation (Insert, Delete,
+// InsertEdges, DeleteEdges, SetPolicy, Flush) is validated, appended to
+// the log, and fsynced before it is applied, so after a crash at any
+// instant OpenDurable recovers a state bit-identical to the uninterrupted
+// run: the newest decodable snapshot is imported and the log tail is
+// replayed through the same application path the live operations used.
+// Checkpoint rotates in a fresh snapshot and truncates the log.
+type Durable = persist.Durable
+
+// DurableOptions re-exports the durable spanner's configuration: engine
+// options for the metric and graph replay paths, NoSync to trade crash
+// safety for speed in tests, and the crash-injection hooks the chaos
+// suite drives.
+type DurableOptions = persist.Options
+
+// OpenDurable opens the durable spanner persisted in dir, recovering
+// from whatever state a crash left behind: the newest valid snapshot is
+// loaded and the write-ahead-log tail replayed, with any torn trailing
+// record truncated at the exact corruption point. If the directory holds
+// no usable state (fresh directory, or a crash before the first snapshot
+// completed) and build is non-nil, the spanner is built from scratch via
+// build and persisted; with build nil the ErrNoState is surfaced.
+// workers selects the replay engine's concurrency (0 = GOMAXPROCS).
+func OpenDurable(dir string, workers int, build func() (*Incremental, error)) (*Durable, error) {
+	o := persist.Options{
+		Metric: core.MetricParallelOptions{Workers: workers},
+		Graph:  core.ParallelOptions{Workers: workers},
+	}
+	d, err := persist.Open(dir, o)
+	if err == nil {
+		return d, nil
+	}
+	if !errors.Is(err, persist.ErrNoState) || build == nil {
+		return nil, err
+	}
+	inc, err := build()
+	if err != nil {
+		return nil, err
+	}
+	return persist.Create(dir, inc, o)
 }
 
 // ApproxGreedy runs the approximate-greedy (1+eps)-spanner algorithm for
