@@ -1,0 +1,61 @@
+// Command spannerlint runs the repo's soundness analyzers (see
+// internal/analysis/checks) over the given package patterns — ./... by
+// default — and exits nonzero if any diagnostic is reported. It is the
+// multichecker CI runs and the one-command local gate behind
+// scripts/lint.sh.
+//
+// Usage:
+//
+//	spannerlint [-list] [packages]
+//
+// -list prints the analyzer names and the invariant each enforces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis/checks"
+	"repro/internal/analysis/framework"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := checks.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spannerlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := framework.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spannerlint:", err)
+		os.Exit(2)
+	}
+	diags, err := framework.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spannerlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "spannerlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

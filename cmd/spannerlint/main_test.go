@@ -1,0 +1,61 @@
+package main
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/analysis/checks"
+	"repro/internal/analysis/framework"
+)
+
+// TestSpannerlintClean is the end-to-end gate: the full analyzer suite
+// over the whole module must produce zero diagnostics. Any new finding —
+// a real violation or an annotation that lost its reason — fails CI here
+// even before the dedicated lint job runs.
+func TestSpannerlintClean(t *testing.T) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller information")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(file)))
+	pkgs, err := framework.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("loaded only %d packages; the module walk looks broken", len(pkgs))
+	}
+	diags, err := framework.Run(pkgs, checks.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestAnalyzerRegistry pins the suite composition: each analyzer is
+// registered exactly once, with a name, a doc, and a scope.
+func TestAnalyzerRegistry(t *testing.T) {
+	all := checks.All()
+	if len(all) != 6 {
+		t.Fatalf("registry has %d analyzers, want 6", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %s", a.Name)
+		}
+		seen[a.Name] = true
+		if checks.ByName(a.Name) != a {
+			t.Errorf("ByName(%s) does not round-trip", a.Name)
+		}
+	}
+	if checks.ByName("nope") != nil {
+		t.Error("ByName on unknown name should be nil")
+	}
+}

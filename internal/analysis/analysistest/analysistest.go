@@ -1,0 +1,124 @@
+// Package analysistest runs one spannerlint analyzer over a fixture
+// package and checks its diagnostics against `// want "regex"` comments
+// in the fixture sources — the same convention as
+// golang.org/x/tools/go/analysis/analysistest, reimplemented over the
+// repo's dependency-free framework. A want comment expects a diagnostic
+// on its own line whose message matches the quoted regular expression;
+// the test fails on any unmatched expectation and on any unexpected
+// diagnostic, so fixtures pin both the positives and the negatives
+// (annotated-exempt code must stay silent).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+var wantRE = regexp.MustCompile(`want ("(?:[^"\\]|\\.)*")`)
+
+// expectation is one // want comment: a file/line and a message pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at pattern (a package path relative to
+// the module root, e.g. ./internal/analysis/checks/testdata/mapdet),
+// runs the analyzer with its scope forced open, and diffs diagnostics
+// against the fixtures' want comments.
+func Run(t *testing.T, a *framework.Analyzer, pattern string) {
+	t.Helper()
+	root := moduleRoot(t)
+	pkgs, err := framework.Load(root, pattern)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", pattern)
+	}
+	for _, unit := range pkgs {
+		expects := collectWants(t, unit)
+		diags := framework.RunOne(unit, a)
+		for _, d := range diags {
+			if !claim(expects, d) {
+				t.Errorf("unexpected diagnostic: %s", d)
+			}
+		}
+		for _, e := range expects {
+			if !e.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+			}
+		}
+	}
+}
+
+// moduleRoot walks up from this source file to the repo root.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller information")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+// collectWants parses every want comment in the fixture package.
+func collectWants(t *testing.T, unit *framework.LoadedPackage) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				out = append(out, parseWants(t, unit, c)...)
+			}
+		}
+	}
+	return out
+}
+
+func parseWants(t *testing.T, unit *framework.LoadedPackage, c *ast.Comment) []*expectation {
+	t.Helper()
+	pos := unit.Fset.Position(c.Pos())
+	var out []*expectation
+	for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+		quoted := m[1]
+		raw, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s:%d: malformed want literal %s: %v", pos.Filename, pos.Line, quoted, err)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s:%d: malformed want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+	}
+	return out
+}
+
+// claim marks the first unmatched expectation covering the diagnostic.
+func claim(expects []*expectation, d framework.Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+			continue
+		}
+		if e.pattern.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Fixture formats the canonical fixture pattern for an analyzer name.
+func Fixture(name string) string {
+	return fmt.Sprintf("./internal/analysis/checks/testdata/%s", name)
+}

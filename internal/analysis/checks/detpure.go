@@ -1,0 +1,77 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Detpure keeps nondeterministic inputs out of engine decision paths.
+// The reproduction's headline property is bit-identical output across
+// engines and runs; that dies the moment a decision depends on the
+// wall clock, a random source, or a float sum whose term order varies.
+//
+// The analyzer flags, in engine packages: (a) calls to time.Now,
+// time.Since, time.Until — wall-clock reads; deliberate, output-
+// invariant uses (deadline checks that only decide *whether* to keep
+// working, never *what* to output) carry an ignore annotation; (b) any
+// import of math/rand or math/rand/v2 — there is no sanctioned use of
+// nondeterministic randomness in an engine; (c) floating-point += / -=
+// accumulation inside a range over a map, where the summation order is
+// randomized and float addition is not associative.
+var Detpure = &framework.Analyzer{
+	Name:  "detpure",
+	Doc:   "forbid wall-clock reads, math/rand, and map-ordered float accumulation in engine decision paths",
+	Scope: []string{"internal/core", "internal/graph", "internal/metric", "internal/geom"},
+	Run:   runDetpure,
+}
+
+func runDetpure(pass *framework.Pass) error {
+	info := pass.Unit.Info
+	for _, f := range pass.Unit.Files {
+		for _, imp := range f.Imports {
+			switch imp.Path.Value {
+			case `"math/rand"`, `"math/rand/v2"`:
+				pass.Reportf(imp.Pos(), "engine package imports %s: engines must be deterministic; derive any needed sampling from explicit seeds outside the engine", imp.Path.Value)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				for _, name := range []string{"Now", "Since", "Until"} {
+					if pkgCall(info, n, "time", name) {
+						pass.Reportf(n.Pos(), "time.%s in an engine decision path: wall-clock reads are nondeterministic; annotate //spannerlint:ignore detpure <reason> only for output-invariant deadline checks", name)
+					}
+				}
+			case *ast.RangeStmt:
+				if rangesOverMap(info, n) {
+					flagFloatAccum(pass, info, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// flagFloatAccum reports float += / -= inside a map-ordered loop body:
+// float addition is order-sensitive, and map order is random.
+func flagFloatAccum(pass *framework.Pass, info *types.Info, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || (asg.Tok.String() != "+=" && asg.Tok.String() != "-=") {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			tv, ok := info.Types[lhs]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				pass.Reportf(asg.Pos(), "float accumulation in map-iteration order: %s is order-sensitive under a randomized range; accumulate over sorted keys", exprString(lhs))
+			}
+		}
+		return true
+	})
+}

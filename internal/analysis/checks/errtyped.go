@@ -1,0 +1,136 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Errtyped keeps the error surface of the engines and the persistence
+// layer typed. Callers dispatch on the package sentinels (ErrCancelled,
+// ErrCorruptState, ErrInvalidInput, ErrUnsupportedVersion, ErrNoState,
+// ErrEnginePanic) with errors.Is; an exported function that returns a
+// bare errors.New or a fmt.Errorf without %w mints an error no caller
+// can classify — retry logic then cannot tell a cancelled run from a
+// corrupt store.
+//
+// The analyzer inspects exported functions and methods whose last result
+// is error and whose name marks them as part of the engine/persist
+// operation surface, and flags return statements whose error operand is
+// errors.New(...) or fmt.Errorf("... no %w ..."). Propagating an
+// existing error, returning nil, or returning through a helper
+// (errInvalidStretch, corrupt) all pass: the helper is where the
+// sentinel gets attached, and the helper's own returns are covered at
+// its definition if it is exported.
+var Errtyped = &framework.Analyzer{
+	Name:  "errtyped",
+	Doc:   "exported engine/persist operations must return typed sentinel errors or wraps of them",
+	Scope: []string{"internal/core", "internal/persist", "repro"},
+	Run:   runErrtyped,
+}
+
+// operationPrefixes marks exported names that form the operation surface
+// in internal/core; in internal/persist and the root package every
+// exported function with an error result is an operation.
+var operationPrefixes = []string{
+	"Greedy", "FaultTolerant", "Insert", "Delete", "Flush",
+	"Import", "Export", "Validate", "Save", "Load", "Open",
+	"Create", "Set", "Result",
+}
+
+func runErrtyped(pass *framework.Pass) error {
+	coreScoped := strings.HasSuffix(pass.Unit.Path, "internal/core")
+	for _, f := range pass.Unit.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !ast.IsExported(fd.Name.Name) {
+				continue
+			}
+			if !lastResultIsError(pass, fd.Type) {
+				continue
+			}
+			if coreScoped && !pass.ForceScope && !hasOperationPrefix(fd.Name.Name) {
+				continue
+			}
+			checkReturns(pass, fd)
+		}
+	}
+	return nil
+}
+
+func hasOperationPrefix(name string) bool {
+	for _, p := range operationPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func lastResultIsError(pass *framework.Pass, ftype *ast.FuncType) bool {
+	if ftype.Results == nil || len(ftype.Results.List) == 0 {
+		return false
+	}
+	last := ftype.Results.List[len(ftype.Results.List)-1]
+	tv, ok := pass.Unit.Info.Types[last.Type]
+	return ok && isErrorType(tv.Type)
+}
+
+// checkReturns flags untyped error constructions in every return of fd's
+// body, nested closures included — closure errors typically propagate
+// out of the exported operation.
+func checkReturns(pass *framework.Pass, fd *ast.FuncDecl) {
+	info := pass.Unit.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		// The error operand is the last result; single-call returns
+		// (return doThing()) are propagation and pass.
+		last := ret.Results[len(ret.Results)-1]
+		call, ok := last.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case pkgCall(info, call, "errors", "New"):
+			pass.Reportf(call.Pos(), "untyped errors.New escapes an exported operation: wrap a package sentinel (fmt.Errorf with %%w) so callers can dispatch with errors.Is")
+		case pkgCall(info, call, "fmt", "Errorf"):
+			if format, ok := formatLiteral(call); ok && !strings.Contains(format, "%w") {
+				pass.Reportf(call.Pos(), "fmt.Errorf without %%w escapes an exported operation: wrap a package sentinel so callers can dispatch with errors.Is")
+			}
+		}
+		return true
+	})
+}
+
+// formatLiteral extracts fmt.Errorf's format string when it is a literal
+// (possibly a + concatenation of literals); non-literal formats are not
+// judged.
+func formatLiteral(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	return stringLit(call.Args[0])
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		if e.Kind == token.STRING {
+			return e.Value, true
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			l, lok := stringLit(e.X)
+			r, rok := stringLit(e.Y)
+			if lok && rok {
+				return l + r, true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,148 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis/framework"
+)
+
+// Fsyncrename enforces the persistence layer's two crash-safety
+// disciplines, both stated in internal/persist's docs:
+//
+// Atomic replace: every os.Rename must be dominated by a Sync on the
+// temp file (the rename may not publish bytes that are still only in the
+// page cache) and followed by a sync of the containing directory (the
+// rename itself must survive a crash).
+//
+// Log-before-apply: every call to applyOp must be dominated by an
+// appendRecord in the same function — the WAL record is fsynced before
+// the in-memory state changes, so a crash between the two replays
+// cleanly. Open's recovery path replays records that are already durable
+// and carries an ignore annotation.
+//
+// Domination here is positional within one function body: an event
+// earlier in source order. That is deliberately cruder than a real CFG —
+// conditional sync gates like NoSync remain visible to the analyzer —
+// but it catches the real failure mode (the call simply missing) without
+// false positives on the straight-line persist code.
+var Fsyncrename = &framework.Analyzer{
+	Name:  "fsyncrename",
+	Doc:   "os.Rename needs temp-file Sync before and directory sync after; WAL applyOp needs a preceding appendRecord",
+	Scope: []string{"internal/persist"},
+	Run:   runFsyncrename,
+}
+
+func runFsyncrename(pass *framework.Pass) error {
+	info := pass.Unit.Info
+	for _, f := range pass.Unit.Files {
+		eachFunc(f, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			checkRenameDiscipline(pass, info, body)
+		})
+	}
+	return nil
+}
+
+// fileEvent is one discipline-relevant call, in source order.
+type fileEvent struct {
+	pos  token.Pos
+	kind int
+}
+
+const (
+	evSync = iota
+	evRename
+	evDirSync
+	evAppend
+	evApply
+)
+
+func checkRenameDiscipline(pass *framework.Pass, info *types.Info, body *ast.BlockStmt) {
+	var events []fileEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case pkgCall(info, call, "os", "Rename"):
+			events = append(events, fileEvent{call.Pos(), evRename})
+		case isFileSync(info, call):
+			events = append(events, fileEvent{call.Pos(), evSync})
+		case isDirSync(info, call):
+			events = append(events, fileEvent{call.Pos(), evDirSync})
+		case calleeNamed(call, "appendRecord"):
+			events = append(events, fileEvent{call.Pos(), evAppend})
+		case calleeNamed(call, "applyOp"):
+			events = append(events, fileEvent{call.Pos(), evApply})
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	for i, e := range events {
+		switch e.kind {
+		case evRename:
+			if !hasKind(events[:i], evSync) {
+				pass.Reportf(e.pos, "os.Rename without a preceding Sync on the temp file: renaming unsynced bytes can publish a torn file after a crash")
+			}
+			if !hasKind(events[i+1:], evDirSync) {
+				pass.Reportf(e.pos, "os.Rename without a following directory sync: the rename itself is not durable until the directory entry is synced")
+			}
+		case evApply:
+			if !hasKind(events[:i], evAppend) {
+				pass.Reportf(e.pos, "applyOp without a preceding appendRecord: the WAL must be appended and fsynced before state changes (log-before-apply)")
+			}
+		}
+	}
+}
+
+func hasKind(events []fileEvent, kind int) bool {
+	for _, e := range events {
+		if e.kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// isFileSync recognizes f.Sync() where f is an *os.File.
+func isFileSync(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sync" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}
+
+// isDirSync recognizes a call to a function named syncDir — the repo's
+// directory-durability helper (any receiver or package-level form).
+func isDirSync(info *types.Info, call *ast.CallExpr) bool {
+	return calleeNamed(call, "syncDir")
+}
+
+// calleeNamed reports whether the call's function is named name, whether
+// a method, a package function, or a closure variable.
+func calleeNamed(call *ast.CallExpr, name string) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == name
+	}
+	return false
+}

@@ -1,0 +1,118 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Mapdet rejects range-over-map in deterministic engine paths. Go
+// randomizes map iteration order, so a map range in a scan, certify, or
+// graph path can silently change the edge order the greedy loop sees —
+// and with it the output spanner. A map range is accepted only when the
+// loop body does nothing but collect keys or values into a slice that
+// the very next statement sorts, or when the loop carries a
+// //spannerlint:nondeterministic-ok <reason> annotation (only valid when
+// the computation is genuinely order-independent, e.g. an argmin with a
+// deterministic tie-break).
+var Mapdet = &framework.Analyzer{
+	Name:  "mapdet",
+	Doc:   "forbid unordered map iteration in deterministic engine paths",
+	Scope: []string{"internal/core", "internal/graph"},
+	Run:   runMapdet,
+}
+
+func runMapdet(pass *framework.Pass) error {
+	info := pass.Unit.Info
+	for _, f := range pass.Unit.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			list := stmtList(n)
+			for i, stmt := range list {
+				rng, ok := stmt.(*ast.RangeStmt)
+				if !ok || !rangesOverMap(info, rng) {
+					continue
+				}
+				if collectsThenSorts(info, rng, list[i+1:]) {
+					continue
+				}
+				pass.Reportf(rng.Pos(), "range over map %s in a deterministic engine path: iterate sorted keys, or annotate //spannerlint:nondeterministic-ok <reason> if order provably cannot affect output", exprString(rng.X))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stmtList returns the statement list a node carries, so range statements
+// can be related to their following statements.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func rangesOverMap(info *types.Info, rng *ast.RangeStmt) bool {
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// collectsThenSorts recognizes the one blessed map-range shape: every
+// statement in the body appends to (or writes an element of) some local
+// slice, and the statement immediately after the loop sorts. The sort
+// re-establishes a deterministic order before anything downstream can
+// observe the map's.
+func collectsThenSorts(info *types.Info, rng *ast.RangeStmt, rest []ast.Stmt) bool {
+	if len(rest) == 0 || !isSortStmt(info, rest[0]) {
+		return false
+	}
+	for _, stmt := range rng.Body.List {
+		asg, ok := stmt.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		// Either `s = append(s, ...)` or an indexed write `s[i] = ...`;
+		// both only move elements into a slice the sort then orders.
+		onlyCollects := true
+		for _, lhs := range asg.Lhs {
+			switch lhs.(type) {
+			case *ast.Ident, *ast.IndexExpr:
+			default:
+				onlyCollects = false
+			}
+		}
+		if !onlyCollects {
+			return false
+		}
+	}
+	return true
+}
+
+// isSortStmt reports whether stmt is a call into the sort or slices
+// packages, or the graph package's SortEdges canonical ordering.
+func isSortStmt(info *types.Info, stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	for _, name := range []string{"Sort", "SortFunc", "SortStableFunc", "Slice", "SliceStable", "Stable", "Strings", "Ints", "Float64s"} {
+		if pkgCall(info, call, "sort", name) || pkgCall(info, call, "slices", name) {
+			return true
+		}
+	}
+	return calledMethodName(call) == "SortEdges"
+}

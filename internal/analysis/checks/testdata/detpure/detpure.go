@@ -1,0 +1,43 @@
+// Package fixture seeds detpure violations and exemptions.
+package fixture
+
+import (
+	_ "math/rand" // want "engine package imports \"math/rand\""
+	"time"
+)
+
+// badClock reads the wall clock in a decision path.
+func badClock() int64 {
+	return time.Now().Unix() // want "time.Now in an engine decision path"
+}
+
+// badElapsed measures elapsed time through time.Since.
+func badElapsed(start time.Time) bool {
+	return time.Since(start) > time.Second // want "time.Since in an engine decision path"
+}
+
+// badAccum sums floats in map-iteration order.
+func badAccum(m map[int]float64) float64 {
+	var sum float64
+	//spannerlint:nondeterministic-ok fixture silences mapdet here so detpure's own finding is isolated
+	for _, v := range m {
+		sum += v // want "float accumulation in map-iteration order"
+	}
+	return sum
+}
+
+// goodIntAccum accumulates integers, which commute exactly.
+func goodIntAccum(m map[int]int) int {
+	n := 0
+	//spannerlint:nondeterministic-ok fixture integer addition is associative, order cannot matter
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// goodAnnotatedDeadline is the sanctioned wall-clock exemption shape.
+func goodAnnotatedDeadline(deadline time.Time) bool {
+	//spannerlint:ignore detpure fixture deadline check decides only whether to keep working
+	return time.Now().After(deadline)
+}

@@ -1,0 +1,60 @@
+// Package fixture seeds errtyped violations and exemptions.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errFixture stands in for a package sentinel.
+var errFixture = errors.New("fixture: sentinel")
+
+// OpenFixture mints an error no caller can classify.
+func OpenFixture(fail bool) error {
+	if fail {
+		return errors.New("fixture: something went wrong") // want "untyped errors.New escapes an exported operation"
+	}
+	return nil
+}
+
+// CreateFixture formats an error without wrapping a sentinel.
+func CreateFixture(n int) error {
+	if n < 0 {
+		return fmt.Errorf("fixture: bad n %d", n) // want "fmt.Errorf without %w escapes an exported operation"
+	}
+	return nil
+}
+
+// DeleteFixture wraps the sentinel: callers dispatch with errors.Is.
+func DeleteFixture(n int) error {
+	if n < 0 {
+		return fmt.Errorf("fixture: bad n %d: %w", n, errFixture)
+	}
+	return nil
+}
+
+// InsertFixture propagates an existing error, which always passes.
+func InsertFixture(n int) error {
+	if err := DeleteFixture(n); err != nil {
+		return err
+	}
+	return helperError(n)
+}
+
+// SetFixture is the annotated escape shape.
+func SetFixture(n int) error {
+	if n > 0 {
+		//spannerlint:ignore errtyped fixture demonstrates a documented deliberate escape
+		return errors.New("fixture: deliberate")
+	}
+	return nil
+}
+
+// helperError is unexported: sentinels are attached at the exported
+// surface, so this is not inspected.
+func helperError(n int) error {
+	if n == 42 {
+		return errors.New("fixture: helper detail")
+	}
+	return nil
+}

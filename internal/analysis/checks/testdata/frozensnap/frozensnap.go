@@ -1,0 +1,91 @@
+// Package fixture seeds frozensnap violations and exemptions.
+package fixture
+
+// boundStore mimics the engine's bound store: foldRow mutates, countRows
+// reads. The name matters — frozensnap keys its frozen-type set on the
+// engine's type names.
+type boundStore struct {
+	rows []int
+}
+
+func (b *boundStore) foldRow(i int) { b.rows[i]++ }
+
+func (b *boundStore) countRows() int { return len(b.rows) }
+
+// workers spawns certification-style worker closures exercising every
+// rule: owner-indexed writes pass, captured writes and mutating method
+// calls on frozen state fail.
+func workers(n int) int {
+	out := make([]int, n)
+	var shared int
+	bound := &boundStore{rows: make([]int, n)}
+	done := make(chan struct{}, n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			out[w] = w                 // owner-indexed: allowed
+			shared = w                 // want "writes captured variable shared"
+			bound.rows = nil           // want "writes field rows of captured bound"
+			bound.foldRow(w)           // want "calls bound.foldRow on captured boundStore state"
+			if bound.countRows() > 0 { // read-only method: allowed
+				out[w]++
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < n; w++ {
+		<-done
+	}
+	return shared
+}
+
+// nonOwnerIndex writes through an index the worker does not own.
+func nonOwnerIndex(n int) []int {
+	out := make([]int, n)
+	cursor := 0
+	done := make(chan struct{}, n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			out[cursor] = w // want "non-owner index"
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < n; w++ {
+		<-done
+	}
+	return out
+}
+
+// annotatedFold documents an owner-partitioned fold, the sanctioned
+// exemption shape.
+func annotatedFold(n int) {
+	bound := &boundStore{rows: make([]int, n)}
+	done := make(chan struct{}, n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			//spannerlint:ignore frozensnap fixture rows are owner-partitioned, one row per worker
+			bound.foldRow(w)
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < n; w++ {
+		<-done
+	}
+}
+
+// localState shows worker-local mutation is unrestricted.
+func localState(n int) {
+	done := make(chan struct{}, n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			local := make([]int, 4)
+			local[0] = w
+			acc := 0
+			acc += w
+			_ = acc
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < n; w++ {
+		<-done
+	}
+}

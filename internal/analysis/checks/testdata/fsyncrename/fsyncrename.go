@@ -1,0 +1,68 @@
+// Package fixture seeds fsyncrename violations and exemptions.
+package fixture
+
+import "os"
+
+// syncDir is the directory-durability helper the analyzer recognizes by
+// name, mirroring internal/persist.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// goodReplace follows the full discipline: temp Sync, rename, dir sync.
+func goodReplace(tmp *os.File, from, to string) error {
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(from, to); err != nil {
+		return err
+	}
+	return syncDir(".")
+}
+
+// badNoSync renames bytes that were never synced.
+func badNoSync(from, to string) error {
+	if err := os.Rename(from, to); err != nil { // want "os.Rename without a preceding Sync on the temp file"
+		return err
+	}
+	return syncDir(".")
+}
+
+// badNoDirSync never makes the rename itself durable.
+func badNoDirSync(tmp *os.File, from, to string) error {
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(from, to) // want "os.Rename without a following directory sync"
+}
+
+// wal mimics the durable layer's append/apply pair.
+type wal struct{}
+
+func (wal) appendRecord(op int) error { return nil }
+
+func (wal) applyOp(op int) error { return nil }
+
+// goodLogged appends (and fsyncs) before applying.
+func goodLogged(w wal, op int) error {
+	if err := w.appendRecord(op); err != nil {
+		return err
+	}
+	return w.applyOp(op)
+}
+
+// badUnlogged mutates state that was never logged.
+func badUnlogged(w wal, op int) error {
+	return w.applyOp(op) // want "applyOp without a preceding appendRecord"
+}
+
+// annotatedReplay is the sanctioned exemption: records already durable.
+func annotatedReplay(w wal, op int) error {
+	//spannerlint:ignore fsyncrename fixture replay applies records already durable in the log
+	return w.applyOp(op)
+}

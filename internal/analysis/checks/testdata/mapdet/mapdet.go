@@ -1,0 +1,65 @@
+// Package fixture seeds mapdet violations and exemptions.
+package fixture
+
+import "sort"
+
+// bad iterates a map with an order-sensitive body and no sort.
+func bad(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "range over map m in a deterministic engine path"
+		sum += v
+	}
+	return sum
+}
+
+// badNested hides the map range inside an if body.
+func badNested(m map[string]int, cond bool) int {
+	n := 0
+	if cond {
+		for k := range m { // want "range over map m in a deterministic engine path"
+			n += len(k)
+		}
+	}
+	return n
+}
+
+// goodCollectSort collects keys and immediately sorts: the blessed shape.
+func goodCollectSort(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// goodCollectSliceSort collects values and sorts with sort.Slice.
+func goodCollectSliceSort(m map[int]float64) []float64 {
+	vals := make([]float64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// goodAnnotated carries the nondeterministic-ok annotation with a reason.
+func goodAnnotated(m map[int]bool) int {
+	best := -1
+	//spannerlint:nondeterministic-ok argmin with a deterministic tie-break is order-independent
+	for k := range m {
+		if best == -1 || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// goodSliceRange ranges a slice, which is always ordered.
+func goodSliceRange(s []int) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	return n
+}

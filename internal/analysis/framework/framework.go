@@ -1,0 +1,248 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface the spannerlint suite needs: an
+// Analyzer is a named check with a Run function over one type-checked
+// package (a Pass), and diagnostics are positions plus messages. The repo
+// vendors this shape instead of depending on x/tools so the linters build
+// offline with the standard toolchain alone; the API is kept close enough
+// that migrating to the real go/analysis driver is a mechanical change.
+//
+// Suppression grammar (enforced here, shared by every analyzer):
+//
+//	//spannerlint:ignore <analyzer> <reason>
+//	//spannerlint:nondeterministic-ok <reason>        (alias: ignore mapdet)
+//
+// An annotation suppresses the named analyzer's diagnostics on its own
+// line and on the line directly below it (so it can sit above a statement
+// or trail it). The reason is mandatory: an annotation without one is
+// itself reported, because an unexplained exemption is exactly the
+// reviewer-memory failure mode the suite exists to remove.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //spannerlint:ignore annotations.
+	Name string
+	// Doc states the invariant the analyzer enforces, one paragraph.
+	Doc string
+	// Scope lists the import-path suffixes the analyzer inspects; a
+	// package outside every suffix is skipped. Empty means every package.
+	// The fixture runner bypasses the scope with Pass.ForceScope.
+	Scope []string
+	// Run reports the package's violations through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Unit     *LoadedPackage
+	// ForceScope makes InScope true regardless of the package path; the
+	// fixture runner sets it so testdata packages exercise scoped
+	// analyzers.
+	ForceScope bool
+
+	diags       []Diagnostic
+	suppression map[string][]suppressedLine // filename -> annotations
+}
+
+type suppressedLine struct {
+	line     int
+	analyzer string // "" suppresses nothing (malformed, already reported)
+}
+
+// InScope reports whether the package under analysis is one the analyzer's
+// Scope covers.
+func (p *Pass) InScope() bool {
+	if p.ForceScope || len(p.Analyzer.Scope) == 0 {
+		return true
+	}
+	for _, s := range p.Analyzer.Scope {
+		if p.Unit.Path == s || strings.HasSuffix(p.Unit.Path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf records a diagnostic at pos unless an annotation suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Unit.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether an ignore annotation for this analyzer sits
+// on the diagnostic's line or the line above it.
+func (p *Pass) suppressed(pos token.Position) bool {
+	if p.suppression == nil {
+		p.buildSuppression()
+	}
+	for _, s := range p.suppression[pos.Filename] {
+		if s.analyzer == p.Analyzer.Name && (s.line == pos.Line || s.line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+const (
+	annPrefix    = "//spannerlint:"
+	annIgnore    = "//spannerlint:ignore"
+	annNondetOK  = "//spannerlint:nondeterministic-ok"
+	mapdetName   = "mapdet"
+	annMalformed = "" // sentinel analyzer name for malformed annotations
+)
+
+func (p *Pass) buildSuppression() {
+	p.suppression = make(map[string][]suppressedLine)
+	for _, f := range p.Unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ann, ok := parseAnnotation(c.Text)
+				if !ok {
+					continue
+				}
+				pos := p.Unit.Fset.Position(c.Pos())
+				if ann.err != "" {
+					// Malformed annotations are reported by whichever
+					// analyzer visits the file first, once per pass; the
+					// driver dedupes identical diagnostics.
+					p.diags = append(p.diags, Diagnostic{
+						Analyzer: p.Analyzer.Name,
+						Pos:      pos,
+						Message:  ann.err,
+					})
+					continue
+				}
+				p.suppression[pos.Filename] = append(p.suppression[pos.Filename], suppressedLine{
+					line:     pos.Line,
+					analyzer: ann.analyzer,
+				})
+			}
+		}
+	}
+}
+
+type annotation struct {
+	analyzer string
+	reason   string
+	err      string
+}
+
+// parseAnnotation decodes one //spannerlint: comment; ok is false for
+// ordinary comments.
+func parseAnnotation(text string) (annotation, bool) {
+	if !strings.HasPrefix(text, annPrefix) {
+		return annotation{}, false
+	}
+	switch {
+	case strings.HasPrefix(text, annNondetOK):
+		reason := strings.TrimSpace(strings.TrimPrefix(text, annNondetOK))
+		if reason == "" {
+			return annotation{err: "spannerlint annotation needs a reason: //spannerlint:nondeterministic-ok <reason>"}, true
+		}
+		return annotation{analyzer: mapdetName, reason: reason}, true
+	case strings.HasPrefix(text, annIgnore):
+		rest := strings.TrimSpace(strings.TrimPrefix(text, annIgnore))
+		name, reason, _ := strings.Cut(rest, " ")
+		reason = strings.TrimSpace(reason)
+		if name == "" || reason == "" {
+			return annotation{err: "spannerlint annotation needs an analyzer and a reason: //spannerlint:ignore <analyzer> <reason>"}, true
+		}
+		return annotation{analyzer: name, reason: reason}, true
+	default:
+		verb, _, _ := strings.Cut(strings.TrimPrefix(text, annPrefix), " ")
+		return annotation{err: fmt.Sprintf("unknown spannerlint annotation %q (grammar: ignore <analyzer> <reason> | nondeterministic-ok <reason>)", verb)}, true
+	}
+}
+
+// Run executes the analyzers over the loaded packages and returns every
+// diagnostic, position-sorted and deduplicated (malformed annotations
+// would otherwise repeat once per analyzer).
+func Run(pkgs []*LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, unit := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Unit: unit}
+			if !pass.InScope() {
+				continue
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, unit.Path, err)
+			}
+			all = append(all, pass.diags...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	dedup := all[:0]
+	for i, d := range all {
+		if i > 0 && d.Pos == all[i-1].Pos && d.Message == all[i-1].Message {
+			continue
+		}
+		dedup = append(dedup, d)
+	}
+	return dedup, nil
+}
+
+// RunOne executes a single analyzer over one package with the scope
+// forced open — the fixture runner's entry point.
+func RunOne(unit *LoadedPackage, a *Analyzer) []Diagnostic {
+	pass := &Pass{Analyzer: a, Unit: unit, ForceScope: true}
+	if err := a.Run(pass); err != nil {
+		pass.diags = append(pass.diags, Diagnostic{
+			Analyzer: a.Name,
+			Pos:      token.Position{Filename: unit.Path},
+			Message:  fmt.Sprintf("analyzer error: %v", err),
+		})
+	}
+	return pass.diags
+}
+
+// File returns the *ast.File containing pos, so analyzers can relate a
+// node to file-level state (imports, comments).
+func (u *LoadedPackage) File(pos token.Pos) *ast.File {
+	for _, f := range u.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package framework
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseAnnotation pins the suppression grammar: both verbs, the
+// mapdet alias, mandatory reasons, and malformed forms turning into
+// diagnostics instead of silent suppressions.
+func TestParseAnnotation(t *testing.T) {
+	cases := []struct {
+		text     string
+		ok       bool
+		analyzer string
+		errPart  string
+	}{
+		{"// ordinary comment", false, "", ""},
+		{"//spannerlint:ignore mapdet keys sorted by construction", true, "mapdet", ""},
+		{"//spannerlint:ignore detpure deadline check is output-invariant", true, "detpure", ""},
+		{"//spannerlint:nondeterministic-ok argmin is order-independent", true, "mapdet", ""},
+		{"//spannerlint:ignore", true, "", "needs an analyzer and a reason"},
+		{"//spannerlint:ignore mapdet", true, "", "needs an analyzer and a reason"},
+		{"//spannerlint:nondeterministic-ok", true, "", "needs a reason"},
+		{"//spannerlint:silence mapdet because", true, "", "unknown spannerlint annotation"},
+	}
+	for _, c := range cases {
+		ann, ok := parseAnnotation(c.text)
+		if ok != c.ok {
+			t.Errorf("parseAnnotation(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if c.errPart != "" {
+			if !strings.Contains(ann.err, c.errPart) {
+				t.Errorf("parseAnnotation(%q) err = %q, want containing %q", c.text, ann.err, c.errPart)
+			}
+			continue
+		}
+		if ann.err != "" {
+			t.Errorf("parseAnnotation(%q) unexpected err %q", c.text, ann.err)
+		}
+		if ann.analyzer != c.analyzer {
+			t.Errorf("parseAnnotation(%q) analyzer = %q, want %q", c.text, ann.analyzer, c.analyzer)
+		}
+		if ann.reason == "" {
+			t.Errorf("parseAnnotation(%q) reason empty", c.text)
+		}
+	}
+}
+
+// TestAnalyzerScope pins the package-path suffix matching InScope uses.
+func TestAnalyzerScope(t *testing.T) {
+	a := &Analyzer{Name: "x", Scope: []string{"internal/core", "repro"}}
+	for path, want := range map[string]bool{
+		"repro/internal/core":  true,
+		"repro":                true,
+		"repro/internal/graph": false,
+		"other/internal/corex": false,
+	} {
+		p := &Pass{Analyzer: a, Unit: &LoadedPackage{Path: path}}
+		if got := p.InScope(); got != want {
+			t.Errorf("InScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+	open := &Pass{Analyzer: &Analyzer{Name: "y"}, Unit: &LoadedPackage{Path: "anything"}}
+	if !open.InScope() {
+		t.Error("empty scope should match every package")
+	}
+	forced := &Pass{Analyzer: a, Unit: &LoadedPackage{Path: "elsewhere"}, ForceScope: true}
+	if !forced.InScope() {
+		t.Error("ForceScope should bypass scope matching")
+	}
+}

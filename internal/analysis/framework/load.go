@@ -1,0 +1,179 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// LoadedPackage is one type-checked target package: the parsed files (with
+// comments), the package's type information, and the shared FileSet. It is
+// the unit an Analyzer runs on.
+type LoadedPackage struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs:
+// where the package lives, which files compile into it, and where the
+// toolchain cached its export data.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", args, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from the export data files `go list
+// -export` reported, through the standard library's gc importer. Loaded
+// packages are cached, so a dependency shared by many targets is decoded
+// once.
+type exportImporter struct {
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	cache   map[string]*types.Package
+	imp     types.Importer
+}
+
+func newExportImporter(fset *token.FileSet, pkgs []*listedPackage) *exportImporter {
+	e := &exportImporter{
+		fset:    fset,
+		exports: make(map[string]string, len(pkgs)),
+		cache:   make(map[string]*types.Package),
+	}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			e.exports[p.ImportPath] = p.Export
+		}
+	}
+	e.imp = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := e.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return e
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := e.cache[path]; ok {
+		return p, nil
+	}
+	p, err := e.imp.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	e.cache[path] = p
+	return p, nil
+}
+
+// Load type-checks the packages matching patterns (resolved relative to
+// dir, e.g. "./...") from source and returns them ready for analysis.
+// Dependencies — standard library and in-module alike — are imported from
+// the build cache's export data, which `go list -export` materializes, so
+// loading needs no network and no third-party machinery. Test files are
+// not part of the load: the invariants under analysis live in the
+// engines, and fixtures exercise analyzers through non-test sources.
+func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// One walk of the full dependency graph populates the export cache;
+	// a second, cheap listing names just the analysis targets.
+	deps, err := goList(dir, append([]string{"-deps", "-export", "-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goList(dir, append([]string{"-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, deps)
+
+	var out []*LoadedPackage
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if t.Standard {
+			continue
+		}
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, perr := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if perr != nil {
+				return nil, perr
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		pkg, terr := conf.Check(t.ImportPath, fset, files, info)
+		if terr != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, terr)
+		}
+		out = append(out, &LoadedPackage{
+			Path:  t.ImportPath,
+			Dir:   t.Dir,
+			Fset:  fset,
+			Files: files,
+			Pkg:   pkg,
+			Info:  info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}

@@ -90,7 +90,7 @@ func errInvalidStretch(t float64) error {
 // Complexity: O(m log m) for the sort plus one bounded Dijkstra per edge; in
 // the worst case O(m * (m_H + n) log n), the naive bound quoted in
 // Corollary 4 of the paper.
-func GreedyGraph(g *graph.Graph, t float64) (*Result, error) {
+func GreedyGraph(g *graph.Graph, t float64) (*Result, error) { //spannerlint:ignore ctxcommit serial reference: uncancellable by design, the parallel engine must match it bit for bit
 	if !validStretch(t) {
 		return nil, errInvalidStretch(t)
 	}
@@ -140,7 +140,7 @@ func GreedyMetricFast(m metric.Metric, t float64) (*Result, error) {
 // of the greedymetricbench experiment. On doubling metrics it performs a
 // small number of Dijkstra runs per accepted edge, giving near-quadratic
 // behaviour in practice, versus the cubic-ish naive bound.
-func GreedyMetricFastSerial(m metric.Metric, t float64) (*Result, error) {
+func GreedyMetricFastSerial(m metric.Metric, t float64) (*Result, error) { //spannerlint:ignore ctxcommit serial reference: uncancellable by design, the parallel engine must match it bit for bit
 	if !validStretch(t) {
 		return nil, errInvalidStretch(t)
 	}

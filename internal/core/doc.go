@@ -29,6 +29,10 @@
 // decision thus matches the sequential scan, and the output — edge
 // sequence, weight, counters — is deterministic and bit-identical
 // regardless of worker count, batch width, or goroutine scheduling.
+// (The frozen-snapshot discipline — workers write only owner-indexed
+// slots, never captured snapshot state — is machine-checked by the
+// frozensnap analyzer; map-order and wall-clock nondeterminism in these
+// paths by mapdet and detpure. See README "Static analysis".)
 //
 // The two engines differ only in the certification primitive:
 //
@@ -165,7 +169,8 @@
 // Budget option fields). Cancellation is observed at batch boundaries
 // and, inside a batch, after each certification search but before its
 // decision commits — a truncated search can report "not within reach"
-// spuriously, so no decision derived from one is ever recorded. A
+// spuriously, so no decision derived from one is ever recorded (the
+// ctxcommit analyzer machine-checks this check-before-commit shape). A
 // cancelled or deadline-expired build returns the exact decided prefix
 // (Result.Partial set) with ErrCancelled; worker pools are always
 // joined before returning. Budget pressure walks a degradation ladder
@@ -201,4 +206,20 @@
 // layer on top of this pair: versioned digest-guarded snapshots of a
 // SpannerState plus a write-ahead log of dynamic operations, with
 // crash-recovery equivalence enforced by the internal/chaos Kill suite.
+//
+// # Machine-checked invariants
+//
+// The invariants above are enforced statically by the spannerlint suite
+// (internal/analysis, driver cmd/spannerlint, run by CI and
+// scripts/lint.sh): mapdet forbids unordered map iteration in this
+// package and internal/graph; ctxcommit enforces the
+// check-before-commit rule on bounded searches and context threading on
+// engine entry points; frozensnap freezes captured state inside
+// certification worker closures; detpure keeps wall-clock reads,
+// math/rand, and map-ordered float accumulation out of decision paths;
+// errtyped keeps the exported error surface dispatchable with
+// errors.Is; and fsyncrename (internal/persist's scope) enforces the
+// durability disciplines. Deliberate exemptions carry
+// //spannerlint:ignore annotations whose reasons are part of this
+// package's soundness documentation.
 package core

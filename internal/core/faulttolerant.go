@@ -85,7 +85,7 @@ func FaultTolerantGreedyOpts(m metric.Metric, t float64, f int, opts FaultTolera
 		return nil, errInvalidStretch(t)
 	}
 	if f < 0 || f > 2 {
-		return nil, fmt.Errorf("core: fault parameter %d out of supported range [0, 2]", f)
+		return nil, fmt.Errorf("core: fault parameter %d out of supported range [0, 2]: %w", f, graph.ErrInvalidInput)
 	}
 	stats := opts.Stats
 	if stats == nil {
@@ -233,7 +233,7 @@ func ftCovered(search *graph.Searcher, h *graph.Graph, oracle *HubOracle, e grap
 // distance +Inf.
 func VerifyFaultTolerance(h *graph.Graph, m metric.Metric, t float64, f int, eps float64) error {
 	if f < 0 || f > 2 {
-		return fmt.Errorf("core: fault parameter %d out of supported range [0, 2]", f)
+		return fmt.Errorf("core: fault parameter %d out of supported range [0, 2]: %w", f, graph.ErrInvalidInput)
 	}
 	n := m.N()
 	search := graph.NewSearcher(h.N())

@@ -587,12 +587,12 @@ func (s *IncrementalSpanner) notePending(cut graph.Edge, ops int) error {
 // is preserved; Flush replays them once the fault clears.
 func (s *IncrementalSpanner) Insert(union metric.Metric) error {
 	if s.dyn == nil {
-		return fmt.Errorf("core: Insert on a graph-mode incremental spanner (use InsertEdges)")
+		return fmt.Errorf("core: Insert on a graph-mode incremental spanner (use InsertEdges): %w", graph.ErrInvalidInput)
 	}
 	liveN := len(s.dyn.live)
 	n := union.N()
 	if n < liveN {
-		return fmt.Errorf("core: union has %d points, fewer than the current %d", n, liveN)
+		return fmt.Errorf("core: union has %d points, fewer than the current %d: %w", n, liveN, graph.ErrInvalidInput)
 	}
 	if n == liveN {
 		s.dyn.extend(union, 0)
@@ -641,7 +641,7 @@ func (s *IncrementalSpanner) Insert(union metric.Metric) error {
 // is preserved; Flush replays them once the fault clears.
 func (s *IncrementalSpanner) InsertEdges(edges ...graph.Edge) error {
 	if s.g == nil {
-		return fmt.Errorf("core: InsertEdges on a metric-mode incremental spanner (use Insert)")
+		return fmt.Errorf("core: InsertEdges on a metric-mode incremental spanner (use Insert): %w", graph.ErrInvalidInput)
 	}
 	if len(edges) == 0 {
 		return nil
@@ -684,7 +684,7 @@ func (s *IncrementalSpanner) InsertEdges(edges ...graph.Edge) error {
 // preserved; Flush replays it once the fault clears.
 func (s *IncrementalSpanner) Delete(points ...int) error {
 	if s.dyn == nil {
-		return fmt.Errorf("core: Delete on a graph-mode incremental spanner (use DeleteEdges)")
+		return fmt.Errorf("core: Delete on a graph-mode incremental spanner (use DeleteEdges): %w", graph.ErrInvalidInput)
 	}
 	if len(points) == 0 {
 		return nil
@@ -799,11 +799,19 @@ func (s *IncrementalSpanner) DeleteEdges(edges ...graph.Edge) error {
 // what lets a write-ahead log record the operation before applying it.
 func (s *IncrementalSpanner) ValidateDeleteEdges(edges ...graph.Edge) error {
 	if s.g == nil {
-		return fmt.Errorf("core: DeleteEdges on a metric-mode incremental spanner (use Delete)")
+		return fmt.Errorf("core: DeleteEdges on a metric-mode incremental spanner (use Delete): %w", graph.ErrInvalidInput)
 	}
+	// Count requested copies per canonical edge, remembering first-seen
+	// order so a rejection always names the same edge regardless of map
+	// iteration order.
 	want := make(map[graph.Edge]int, len(edges))
+	order := make([]graph.Edge, 0, len(edges))
 	for _, e := range edges {
-		want[e.Canonical()]++
+		c := e.Canonical()
+		if want[c] == 0 {
+			order = append(order, c)
+		}
+		want[c]++
 	}
 	have := make(map[graph.Edge]int, len(want))
 	for _, e := range s.g.Edges() {
@@ -811,8 +819,8 @@ func (s *IncrementalSpanner) ValidateDeleteEdges(edges ...graph.Edge) error {
 			have[e]++
 		}
 	}
-	for e, k := range want {
-		if have[e] < k {
+	for _, e := range order {
+		if k := want[e]; have[e] < k {
 			return fmt.Errorf("core: DeleteEdges wants %d copies of edge (%d, %d, %v), graph has %d: %w",
 				k, e.U, e.V, e.W, have[e], graph.ErrInvalidInput)
 		}
@@ -837,6 +845,7 @@ func (s *IncrementalSpanner) pickReplacementHub(isHub map[int]bool) int {
 			continue
 		}
 		minD := math.Inf(1)
+		//spannerlint:nondeterministic-ok minimum over the hub membership set is order-independent (see doc comment)
 		for h := range isHub {
 			if h < len(s.dyn.dead) && !s.dyn.dead[h] {
 				if d := s.dyn.Dist(c, h); d < minD {

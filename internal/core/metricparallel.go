@@ -1083,6 +1083,7 @@ func (sc *metricScan) run(src CandidateSource, batchSize int) (err error) {
 					} else {
 						search.Distances(h, u, scratch)
 					}
+					//spannerlint:ignore frozensnap rows are owner-partitioned: each u in rows[w] is folded by exactly one worker
 					if ferr := bound.foldRow(u, scratch, snapEdges); ferr != nil {
 						errs[w] = ferr
 						return

@@ -447,6 +447,7 @@ func (sc *graphScan) run(src CandidateSource, batchSize int) (err error) {
 					}
 					e := edges[i]
 					env.onCertify(e)
+					//spannerlint:ignore ctxcommit the post-join cancelled() re-check discards every phase-1 certificate on truncation (monotone predicate)
 					_, within := search.BidirDistanceWithin(h, e.U, e.V, t*e.W)
 					certified[i] = within
 				}

@@ -159,6 +159,7 @@ func (e *scanEnv) cancelled() error {
 		default:
 		}
 	}
+	//spannerlint:ignore detpure deadline check decides only whether to keep working; a tripped deadline yields ErrCancelled, never a different spanner
 	if e.timed && time.Now().After(e.deadline) {
 		return fmt.Errorf("%w: budget deadline exceeded", ErrCancelled)
 	}
@@ -187,6 +188,7 @@ func (e *scanEnv) stopFn() func() bool {
 			default:
 			}
 		}
+		//spannerlint:ignore detpure stop predicate decides only whether to truncate; truncated searches never decide (see ctxcommit)
 		return timed && time.Now().After(deadline)
 	}
 }

@@ -171,7 +171,7 @@ func Create(dir string, inc *core.IncrementalSpanner, o Options) (*Durable, erro
 	}
 	for _, e := range ents {
 		if strings.HasPrefix(e.Name(), "snap-") || strings.HasPrefix(e.Name(), "wal-") {
-			return nil, fmt.Errorf("persist: Create in non-empty state directory %s (found %s)", dir, e.Name())
+			return nil, fmt.Errorf("persist: Create in non-empty state directory %s (found %s): %w", dir, e.Name(), graph.ErrInvalidInput)
 		}
 	}
 	st, err := inc.ExportState()
@@ -336,6 +336,7 @@ func Open(dir string, o Options) (*Durable, error) {
 			if derr != nil {
 				return nil, derr
 			}
+			//spannerlint:ignore fsyncrename replay applies records already durable in the WAL; log-before-apply was satisfied by the original append
 			if err := d.applyOp(op); err != nil {
 				return nil, corruptf("wal record %d replay failed: %v", i, err)
 			}
@@ -570,7 +571,7 @@ func (d *Durable) Insert(union metric.Metric) error {
 		return err
 	}
 	if d.graphMode {
-		return fmt.Errorf("persist: Insert on a graph-mode durable spanner (use InsertEdges)")
+		return fmt.Errorf("persist: Insert on a graph-mode durable spanner (use InsertEdges): %w", graph.ErrInvalidInput)
 	}
 	n := union.N()
 	k := n - d.liveN
@@ -620,7 +621,7 @@ func (d *Durable) Delete(points ...int) error {
 		return err
 	}
 	if d.graphMode {
-		return fmt.Errorf("persist: Delete on a graph-mode durable spanner (use DeleteEdges)")
+		return fmt.Errorf("persist: Delete on a graph-mode durable spanner (use DeleteEdges): %w", graph.ErrInvalidInput)
 	}
 	if len(points) == 0 {
 		return nil
@@ -648,7 +649,7 @@ func (d *Durable) InsertEdges(edges ...graph.Edge) error {
 		return err
 	}
 	if !d.graphMode {
-		return fmt.Errorf("persist: InsertEdges on a metric-mode durable spanner (use Insert)")
+		return fmt.Errorf("persist: InsertEdges on a metric-mode durable spanner (use Insert): %w", graph.ErrInvalidInput)
 	}
 	if len(edges) == 0 {
 		return nil
@@ -671,7 +672,7 @@ func (d *Durable) DeleteEdges(edges ...graph.Edge) error {
 		return err
 	}
 	if !d.graphMode {
-		return fmt.Errorf("persist: DeleteEdges on a metric-mode durable spanner (use Delete)")
+		return fmt.Errorf("persist: DeleteEdges on a metric-mode durable spanner (use Delete): %w", graph.ErrInvalidInput)
 	}
 	if len(edges) == 0 {
 		return nil

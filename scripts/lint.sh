@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# lint.sh — the full local lint gate, one command, mirroring CI:
+# formatting, go vet, package doc comments, module verification, and the
+# spannerlint soundness analyzers (see README "Static analysis").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+  echo "gofmt needed on:"
+  echo "$out"
+  exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== package doc comments"
+./scripts/check_pkgdoc.sh
+
+echo "== go mod verify"
+go mod verify
+
+echo "== spannerlint"
+go run ./cmd/spannerlint ./...
+
+echo "lint clean"
