@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	spannerbench [-exp all|e1|...|e12|a1..a5|ablations|greedybench|greedymetricbench|pairstreambench|incrementalbench|dynamicbench|persistbench] [-scale small|full] [-seed N]
+//	spannerbench [-exp all|e1|...|e12|a1..a5|ablations|greedybench|greedymetricbench|pairstreambench|incrementalbench|dynamicbench|persistbench|servebench] [-scale small|full] [-seed N]
 //
 // The "full" scale is what EXPERIMENTS.md records; "small" finishes in a
 // few seconds.
@@ -59,6 +59,15 @@
 // loaded and recovered spanner checked against the original result
 // digest, writing BENCH_persist.json by default. -workers selects the
 // engine worker count (default 1).
+//
+// -exp servebench measures spannerd's serving layer over live HTTP:
+// read throughput and tail latency against the RCU snapshot, a mixed
+// scenario with durable mutations republishing snapshots under live
+// readers, and an overload scenario against a deliberately undersized
+// admission configuration where excess load must be shed with typed
+// 503s — a response outside {200, typed shed} anywhere is a failure.
+// Writes BENCH_serve.json by default. -workers selects the engine
+// worker count (default 1).
 package main
 
 import (
@@ -100,7 +109,7 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("spannerbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench, dynamicbench, hubbench, persistbench")
+	exp := fs.String("exp", "all", "experiment to run: all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench, dynamicbench, hubbench, persistbench, servebench")
 	scaleFlag := fs.String("scale", "small", "experiment scale: small or full")
 	seed := fs.Int64("seed", 42, "random seed for workload generation")
 	jsonPath := fs.String("json", "", "output path for the greedybench/greedymetricbench report (default BENCH_greedy.json / BENCH_greedymetric.json)")
@@ -191,6 +200,10 @@ func run(ctx context.Context, args []string) error {
 		tab, report, err := bench.PersistBench(ctx, scale, *seed, *reps, *workers)
 		return writeReport("BENCH_persist.json", tab, report, err)
 	}
+	if name == "servebench" {
+		tab, report, err := bench.ServeBench(ctx, scale, *seed, *workers)
+		return writeReport("BENCH_serve.json", tab, report, err)
+	}
 	if name == "all" || name == "ablations" {
 		var (
 			tabs []*bench.Table
@@ -213,7 +226,7 @@ func run(ctx context.Context, args []string) error {
 	}
 	r, ok := runners[name]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench, dynamicbench, hubbench, or persistbench)", *exp)
+		return fmt.Errorf("unknown experiment %q (want all, e1..e12, a1..a5, ablations, greedybench, greedymetricbench, pairstreambench, incrementalbench, dynamicbench, hubbench, persistbench, or servebench)", *exp)
 	}
 	tab, err := r()
 	if err != nil {

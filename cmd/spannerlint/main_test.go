@@ -39,8 +39,8 @@ func TestSpannerlintClean(t *testing.T) {
 // registered exactly once, with a name, a doc, and a scope.
 func TestAnalyzerRegistry(t *testing.T) {
 	all := checks.All()
-	if len(all) != 6 {
-		t.Fatalf("registry has %d analyzers, want 6", len(all))
+	if len(all) != 7 {
+		t.Fatalf("registry has %d analyzers, want 7", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

@@ -18,6 +18,7 @@ func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		Mapdet,
 		Ctxcommit,
+		Srvctx,
 		Frozensnap,
 		Fsyncrename,
 		Detpure,

@@ -1,0 +1,12 @@
+package checks_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/checks"
+)
+
+func TestSrvctxFixtures(t *testing.T) {
+	analysistest.Run(t, checks.Srvctx, analysistest.Fixture("srvctx"))
+}

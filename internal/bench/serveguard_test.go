@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"context"
+	"os"
+	"testing"
+)
+
+// TestServeBenchGuard is the regression gate for the serving layer's
+// acceptance property: across the read-only, read+mutate, and overload
+// scenarios every response must be a 200 or a typed shed — zero
+// shed-free failures — the overload scenario must actually shed (the
+// admission queue is sized to guarantee it), and the mixed scenario
+// must acknowledge every mutation it issued. Gated behind SERVE_GUARD=1
+// because it stands up live HTTP servers; CI runs it as a dedicated
+// step.
+func TestServeBenchGuard(t *testing.T) {
+	if os.Getenv("SERVE_GUARD") != "1" {
+		t.Skip("set SERVE_GUARD=1 to run the serving-layer guard")
+	}
+	_, report, err := ServeBench(context.Background(), Small, 42, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Cases) != 3 {
+		t.Fatalf("servebench produced %d cases, want 3", len(report.Cases))
+	}
+	for _, c := range report.Cases {
+		t.Logf("%s: %d clients, %d requests, ok %d, shed %d, fail %d, %.0f qps, p50 %.2f ms, p99 %.2f ms",
+			c.Scenario, c.Clients, c.Requests, c.OK, c.Shed, c.Failures, c.QPS, c.P50MS, c.P99MS)
+		if c.Failures != 0 {
+			t.Errorf("%s: %d shed-free request failures", c.Scenario, c.Failures)
+		}
+		if c.OK+c.Shed != c.Requests {
+			t.Errorf("%s: %d classified of %d attempted", c.Scenario, c.OK+c.Shed, c.Requests)
+		}
+		if c.QPS <= 0 || c.P50MS > c.P99MS {
+			t.Errorf("%s: degenerate stats qps %.1f p50 %.2f p99 %.2f", c.Scenario, c.QPS, c.P50MS, c.P99MS)
+		}
+		switch c.Scenario {
+		case "read+mutate":
+			if c.Mutations == 0 {
+				t.Errorf("mixed scenario acknowledged no mutations")
+			}
+		case "overload":
+			if c.Shed == 0 {
+				t.Errorf("overload scenario shed nothing against a 2-slot/2-queue server")
+			}
+		}
+	}
+}

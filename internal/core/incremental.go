@@ -75,7 +75,19 @@ import (
 // bit-identical to replaying each batch eagerly, because both equal the
 // from-scratch build on the surviving input.
 //
-// An IncrementalSpanner is not safe for concurrent use.
+// # Concurrency
+//
+// An IncrementalSpanner is not safe for concurrent use: Result and Stats
+// read the same state a concurrent Flush rewrites, so all calls must be
+// serialized by the caller (the serving layer holds a single writer slot
+// for this). What a concurrent architecture may rely on is that every
+// *Result a flush has returned is immutable from then on — a later
+// replay copies the kept prefix into fresh slices instead of truncating
+// the old ones, and the caller-facing view is remapped into fresh
+// storage whenever a deletion exists. Publishing a returned Result (plus
+// anything derived from it, like Result.Graph) across goroutines is
+// therefore race-free as long as the handoff itself is synchronized;
+// internal/server makes an atomic snapshot swap the only such handoff.
 type IncrementalSpanner struct {
 	t float64
 

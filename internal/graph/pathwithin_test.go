@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSearcherPathWithin checks the reconstructed path against the
+// distance oracle on random connected graphs: the vertex sequence must
+// start at src, end at dst, traverse only real edges, and sum to exactly
+// the distance DistanceWithin reports.
+func TestSearcherPathWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(40)
+		g := randomConnectedGraph(rng, n, n/2)
+		s := NewSearcher(n)
+		ref := NewSearcher(n)
+		for q := 0; q < 15; q++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			limit := Inf
+			if q%3 == 0 {
+				limit = rng.Float64() * 20
+			}
+			path, d, ok := s.PathWithin(g, src, dst, limit)
+			refD, refOK := ref.DistanceWithin(g, src, dst, limit)
+			if ok != refOK {
+				t.Fatalf("n=%d src=%d dst=%d limit=%v: PathWithin ok=%v, DistanceWithin ok=%v", n, src, dst, limit, ok, refOK)
+			}
+			if !ok {
+				if path != nil || !math.IsInf(d, 1) {
+					t.Fatalf("miss must return (nil, Inf): got (%v, %v)", path, d)
+				}
+				continue
+			}
+			if d != refD {
+				t.Fatalf("distance %v, want %v", d, refD)
+			}
+			if path[0] != src || path[len(path)-1] != dst {
+				t.Fatalf("path %v does not run %d..%d", path, src, dst)
+			}
+			var sum float64
+			for i := 0; i+1 < len(path); i++ {
+				w, edgeOK := minEdgeWeight(g, path[i], path[i+1])
+				if !edgeOK {
+					t.Fatalf("path step %d-%d is not an edge", path[i], path[i+1])
+				}
+				sum += w
+			}
+			if math.Abs(sum-d) > 1e-9*(1+math.Abs(d)) {
+				t.Fatalf("path weight %v, reported distance %v", sum, d)
+			}
+		}
+	}
+}
+
+// minEdgeWeight returns the lightest parallel edge between u and v.
+func minEdgeWeight(g *Graph, u, v int) (float64, bool) {
+	best, ok := Inf, false
+	g.Neighbors(u, func(to int, w float64) bool {
+		if to == v && w < best {
+			best, ok = w, true
+		}
+		return true
+	})
+	return best, ok
+}
+
+// TestSearcherPathWithinStop verifies a stopped search never fabricates a
+// path: with the stop predicate pinned true, PathWithin on a long path
+// graph must come back empty (the caller's contract is to re-check its
+// own signal and discard), and clearing the stop restores exact answers.
+func TestSearcherPathWithinStop(t *testing.T) {
+	n := 20000 // comfortably above the stop-poll mask, so the predicate is consulted
+	g := pathGraph(n)
+	s := NewSearcher(n)
+	s.SetStop(func() bool { return true })
+	if path, _, ok := s.PathWithin(g, 0, n-1, Inf); ok {
+		t.Fatalf("stopped search produced a path of %d vertices", len(path))
+	}
+	s.SetStop(nil)
+	path, d, ok := s.PathWithin(g, 0, n-1, Inf)
+	if !ok || d != float64(n-1) || len(path) != n {
+		t.Fatalf("unstopped search: ok=%v d=%v len=%d, want true/%d/%d", ok, d, len(path), n-1, n)
+	}
+}

@@ -87,6 +87,36 @@ func (s *Searcher) BidirDistanceWithin(g *Graph, src, dst int, limit float64) (f
 	return Inf, false
 }
 
+// PathWithin reports a shortest path from src to dst in g of total weight
+// at most limit as a vertex sequence (src first, dst last) together with
+// its length, and (nil, Inf, false) when dst is farther than limit. The
+// returned slice is freshly allocated — the path outlives the Searcher's
+// scratch, which the next query reuses. Like every Searcher query it
+// honors SetStop; a stopped search may report (nil, Inf, false) for a
+// reachable pair, so callers re-check their cancellation signal after
+// the call and discard the answer when it fired.
+func (s *Searcher) PathWithin(g *Graph, src, dst int, limit float64) ([]int, float64, bool) {
+	if src == dst {
+		return []int{src}, 0, true
+	}
+	g.dijkstra(src, dst, limit, s.scratch)
+	d := s.scratch.dist[dst]
+	var path []int
+	if d < Inf && d <= limit {
+		for v := dst; v != -1; v = int(s.scratch.parent[v]) {
+			path = append(path, v)
+		}
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+	}
+	s.scratch.reset()
+	if path != nil {
+		return path, d, true
+	}
+	return nil, Inf, false
+}
+
 // DistanceWithinAvoiding is DistanceWithin on the graph g minus one
 // occurrence of edge avoid: it reports the shortest src–dst distance that
 // uses at most limit weight and does not traverse the avoided edge, and

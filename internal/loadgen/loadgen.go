@@ -1,0 +1,231 @@
+// Package loadgen drives concurrent HTTP load against a spannerd
+// serving instance and reports throughput and latency histograms.
+//
+// A Scenario describes one workload shape: how many concurrent clients,
+// how many requests each issues, what fraction are path queries versus
+// distance queries, and whether a mutator client interleaves writes.
+// Run executes the scenario against a base URL and classifies every
+// response: 200s and typed load-shed 503s are expected outcomes under
+// overload; anything else is a failure. A healthy server never fails a
+// request — it answers, sheds, or (while stopping) reports a typed
+// draining error, and the caller decides which classes the scenario
+// tolerates.
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Scenario is one workload configuration.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Clients is the number of concurrent client goroutines.
+	Clients int
+	// Requests is the number of requests each client issues.
+	Requests int
+	// PathEvery makes every k-th read a /v1/path query instead of
+	// /v1/distance (0 = distance only).
+	PathEvery int
+	// MutateEvery makes client 0 POST an insert-points mutation every
+	// k-th request (0 = read-only workload).
+	MutateEvery int
+	// Timeout is the per-request client-side timeout (default 10s).
+	Timeout time.Duration
+	// Seed derives each client's query sequence.
+	Seed int64
+}
+
+// Result aggregates one scenario run.
+type Result struct {
+	Name      string  `json:"name"`
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests"` // total attempted
+	OK        int     `json:"ok"`
+	Shed      int     `json:"shed"`
+	Mutations int     `json:"mutations"` // acknowledged mutations within OK
+	Failures  int     `json:"failures"`  // responses outside {200, typed shed}
+	ElapsedMS float64 `json:"elapsed_ms"`
+	QPS       float64 `json:"qps"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MaxMS     float64 `json:"max_ms"`
+}
+
+// clientStats is one client's tally, merged after the run.
+type clientStats struct {
+	ok, shed, mutations, failures int
+	latencies                     []float64 // ms, every classified response
+	err                           error
+}
+
+// Run executes sc against the server at baseURL serving n vertices and
+// returns the aggregated result. The context cancels the whole run.
+func Run(ctx context.Context, baseURL string, n int, sc Scenario) (*Result, error) {
+	if sc.Clients < 1 || sc.Requests < 1 {
+		return nil, fmt.Errorf("loadgen: scenario %q needs clients and requests >= 1", sc.Name)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("loadgen: scenario %q needs n >= 2, got %d", sc.Name, n)
+	}
+	timeout := sc.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	client := &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        sc.Clients,
+			MaxIdleConnsPerHost: sc.Clients,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	stats := make([]clientStats, sc.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < sc.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			stats[c] = runClient(ctx, client, baseURL, n, sc, c)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{Name: sc.Name, Clients: sc.Clients, Requests: sc.Clients * sc.Requests}
+	var all []float64
+	for i := range stats {
+		if stats[i].err != nil {
+			return nil, stats[i].err
+		}
+		res.OK += stats[i].ok
+		res.Shed += stats[i].shed
+		res.Mutations += stats[i].mutations
+		res.Failures += stats[i].failures
+		all = append(all, stats[i].latencies...)
+	}
+	res.ElapsedMS = float64(elapsed.Nanoseconds()) / 1e6
+	if elapsed > 0 {
+		res.QPS = float64(res.OK+res.Shed) / elapsed.Seconds()
+	}
+	res.P50MS = percentile(all, 50)
+	res.P99MS = percentile(all, 99)
+	res.MaxMS = percentile(all, 100)
+	return res, nil
+}
+
+// runClient issues one client's request sequence. A transport-level
+// error aborts the run (the server must always answer); an HTTP
+// response is classified, never fatal.
+func runClient(ctx context.Context, client *http.Client, baseURL string, n int, sc Scenario, id int) clientStats {
+	var st clientStats
+	rng := rand.New(rand.NewSource(sc.Seed + int64(id)*7919))
+	for q := 0; q < sc.Requests; q++ {
+		if ctx.Err() != nil {
+			st.err = ctx.Err()
+			return st
+		}
+		var (
+			status int
+			code   string
+			err    error
+			mut    bool
+		)
+		t0 := time.Now()
+		switch {
+		case id == 0 && sc.MutateEvery > 0 && q%sc.MutateEvery == sc.MutateEvery-1:
+			mut = true
+			pt := []float64{1e6 + float64(id*1000+q), 1e6}
+			status, code, err = post(ctx, client, baseURL+"/v1/mutate",
+				map[string]any{"op": "insert-points", "points": [][]float64{pt}})
+		case sc.PathEvery > 0 && q%sc.PathEvery == sc.PathEvery-1:
+			u, v := rng.Intn(n), rng.Intn(n)
+			status, code, err = get(ctx, client, fmt.Sprintf("%s/v1/path?u=%d&v=%d", baseURL, u, v))
+		default:
+			u, v := rng.Intn(n), rng.Intn(n)
+			status, code, err = get(ctx, client, fmt.Sprintf("%s/v1/distance?u=%d&v=%d", baseURL, u, v))
+		}
+		if err != nil {
+			st.err = fmt.Errorf("loadgen: client %d request %d: %w", id, q, err)
+			return st
+		}
+		st.latencies = append(st.latencies, float64(time.Since(t0).Nanoseconds())/1e6)
+		switch {
+		case status == http.StatusOK:
+			st.ok++
+			if mut {
+				st.mutations++
+			}
+		case status == http.StatusServiceUnavailable && code == "shed":
+			st.shed++
+		default:
+			st.failures++
+		}
+	}
+	return st
+}
+
+func get(ctx context.Context, client *http.Client, url string) (int, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, "", err
+	}
+	return do(client, req)
+}
+
+func post(ctx context.Context, client *http.Client, url string, body any) (int, string, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(data)))
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return do(client, req)
+}
+
+// do executes the request and extracts the typed error code, if any.
+func do(client *http.Client, req *http.Request) (int, string, error) {
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Code string `json:"code"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return resp.StatusCode, "", fmt.Errorf("decode %s: %w", req.URL.Path, err)
+	}
+	return resp.StatusCode, body.Code, nil
+}
+
+// percentile returns the p-th percentile of samples in ms (p in
+// [0,100]; 100 = max). Returns 0 for an empty sample set.
+func percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(p / 100 * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

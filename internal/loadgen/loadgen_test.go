@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// stubServer mimics the serving daemon's wire contract: 200 bodies for
+// reads and mutations, typed shed 503s on demand, and a broken endpoint
+// for failure classification.
+func stubServer(shedEvery int) (*httptest.Server, *atomic.Int64) {
+	var hits atomic.Int64
+	mux := http.NewServeMux()
+	answer := func(w http.ResponseWriter, body map[string]any, status int) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(body)
+	}
+	read := func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		if shedEvery > 0 && n%int64(shedEvery) == 0 {
+			answer(w, map[string]any{"code": "shed"}, http.StatusServiceUnavailable)
+			return
+		}
+		answer(w, map[string]any{"distance": 1.0, "reachable": true}, http.StatusOK)
+	}
+	mux.HandleFunc("/v1/distance", read)
+	mux.HandleFunc("/v1/path", read)
+	mux.HandleFunc("/v1/mutate", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		answer(w, map[string]any{"version": 2}, http.StatusOK)
+	})
+	mux.HandleFunc("/v1/broken", func(w http.ResponseWriter, r *http.Request) {
+		answer(w, map[string]any{"code": "internal"}, http.StatusInternalServerError)
+	})
+	return httptest.NewServer(mux), &hits
+}
+
+// TestRunClassifiesResponses checks the full tally: every request is
+// classified exactly once, sheds are separated from failures, mutations
+// are counted, and the latency percentiles are ordered.
+func TestRunClassifiesResponses(t *testing.T) {
+	ts, hits := stubServer(5)
+	defer ts.Close()
+
+	res, err := Run(context.Background(), ts.URL, 50, Scenario{
+		Name: "mixed", Clients: 4, Requests: 30, PathEvery: 3, MutateEvery: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 120 || res.OK+res.Shed+res.Failures != 120 {
+		t.Fatalf("tally mismatch: %+v", res)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("stub produced %d failures", res.Failures)
+	}
+	if res.Shed == 0 {
+		t.Fatal("shed responses not counted")
+	}
+	if res.Mutations != 3 {
+		t.Fatalf("mutations %d, want 3 (client 0, every 10th of 30)", res.Mutations)
+	}
+	if hits.Load() != 120 {
+		t.Fatalf("server saw %d hits", hits.Load())
+	}
+	if res.QPS <= 0 || res.P50MS > res.P99MS || res.P99MS > res.MaxMS {
+		t.Fatalf("degenerate stats: %+v", res)
+	}
+}
+
+// TestRunCountsFailures points the workload at an endpoint answering
+// typed 500s: every response must land in Failures, not OK or Shed.
+func TestRunCountsFailures(t *testing.T) {
+	ts, _ := stubServer(0)
+	defer ts.Close()
+	// Rewire distance to the broken endpoint by using its path directly.
+	res, err := Run(context.Background(), ts.URL+"/v1/broken?x=", 10, Scenario{
+		Name: "broken", Clients: 2, Requests: 5, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 10 || res.OK != 0 || res.Shed != 0 {
+		t.Fatalf("failure classification: %+v", res)
+	}
+}
+
+// TestScenarioValidation rejects degenerate configurations.
+func TestScenarioValidation(t *testing.T) {
+	if _, err := Run(context.Background(), "http://x", 10, Scenario{Clients: 0, Requests: 1}); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+	if _, err := Run(context.Background(), "http://x", 1, Scenario{Clients: 1, Requests: 1}); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+// TestPercentile pins the estimator on a known distribution.
+func TestPercentile(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i + 1) // 1..100
+	}
+	for _, c := range []struct{ p, want float64 }{{50, 51}, {99, 100}, {100, 100}, {0, 1}} {
+		if got := percentile(samples, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile %v", got)
+	}
+}

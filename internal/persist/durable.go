@@ -94,6 +94,11 @@ func (d *Durable) fire(label string, wreck func()) error {
 		wreck()
 	}
 	d.dead = ErrSimulatedCrash
+	// A real crash leaves a stale pidfile that the next Open would break
+	// (the recorded pid is dead). The simulated crash stays in-process, so
+	// model that outcome directly: drop the lock so recovery in the same
+	// process does not mistake its own corpse for a live holder.
+	releaseLock(d.dir)
 	return ErrSimulatedCrash
 }
 
@@ -163,8 +168,19 @@ func (d *Durable) writeAtomic(path string, data []byte, label string) error {
 // Create initializes dir as a durable home for inc, which becomes owned
 // by the returned Durable: snapshot generation 1 is written from inc's
 // current (flushed) state and an empty bound WAL is created. dir must
-// exist and hold no prior generation.
+// exist and hold no prior generation. The directory is held under an
+// exclusive lock file until Close; a dir already held by a live process
+// returns ErrLocked.
 func Create(dir string, inc *core.IncrementalSpanner, o Options) (*Durable, error) {
+	if err := acquireLock(dir); err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			releaseLock(dir)
+		}
+	}()
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -191,6 +207,7 @@ func Create(dir string, inc *core.IncrementalSpanner, o Options) (*Durable, erro
 	if err := d.openWal(); err != nil {
 		return nil, err
 	}
+	ok = true
 	return d, nil
 }
 
@@ -252,8 +269,20 @@ func (d *Durable) openWal() error {
 // snapshot returns ErrNoState; a snapshot none of whose generations
 // verify, a WAL bound to the wrong snapshot, or a digest-valid but
 // structurally invalid record return errors wrapping core.ErrCorruptState;
-// foreign format versions return ErrUnsupportedVersion.
+// foreign format versions return ErrUnsupportedVersion. Like Create,
+// Open holds dir under an exclusive lock file until Close; a dir held by
+// a live process returns ErrLocked, while a stale lock left by a crashed
+// holder is broken and recovery proceeds.
 func Open(dir string, o Options) (*Durable, error) {
+	if err := acquireLock(dir); err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			releaseLock(dir)
+		}
+	}()
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -368,6 +397,7 @@ func Open(dir string, o Options) (*Durable, error) {
 	if err := d.openWal(); err != nil {
 		return nil, err
 	}
+	ok = true
 	return d, nil
 }
 
@@ -614,6 +644,42 @@ func (d *Durable) Insert(union metric.Metric) error {
 	return d.applyOp(op)
 }
 
+// AppendPoints logs and applies the insertion of new Euclidean points
+// given directly by coordinates — the serving layer's mutation shape,
+// where clients ship rows rather than a union metric. Every row is
+// validated (dimension, finiteness) before anything is logged, so a
+// rejected call leaves the log untouched and OpSeq unchanged.
+func (d *Durable) AppendPoints(pts [][]float64) error {
+	if err := d.guard(); err != nil {
+		return err
+	}
+	if d.graphMode {
+		return fmt.Errorf("persist: AppendPoints on a graph-mode durable spanner (use InsertEdges): %w", graph.ErrInvalidInput)
+	}
+	if d.metricKind != core.MetricEuclidean {
+		return fmt.Errorf("persist: AppendPoints on a matrix-mode durable spanner (use Insert with a union metric): %w", graph.ErrInvalidInput)
+	}
+	if len(pts) == 0 {
+		return nil
+	}
+	op := walOp{kind: walInsertPoints, k: len(pts), coords: make([]float64, 0, len(pts)*d.dim)}
+	for i, p := range pts {
+		if len(p) != d.dim {
+			return fmt.Errorf("persist: AppendPoints row %d has dimension %d, state dimension %d: %w", i, len(p), d.dim, graph.ErrInvalidInput)
+		}
+		for _, c := range p {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return fmt.Errorf("persist: AppendPoints row %d carries non-finite coordinate: %w", i, graph.ErrInvalidInput)
+			}
+		}
+		op.coords = append(op.coords, p...)
+	}
+	if err := d.appendRecord(op); err != nil {
+		return err
+	}
+	return d.applyOp(op)
+}
+
 // Delete logs and applies a metric-mode deletion of the given dense
 // positions (the IncrementalSpanner.Delete contract).
 func (d *Durable) Delete(points ...int) error {
@@ -759,12 +825,14 @@ func (d *Durable) Checkpoint() error {
 	return d.gcGen(oldGen)
 }
 
-// Close releases the WAL handle. The directory remains openable.
+// Close releases the WAL handle and the directory lock. The directory
+// remains openable (by this process or any other).
 func (d *Durable) Close() error {
 	if d.closed {
 		return nil
 	}
 	d.closed = true
+	releaseLock(d.dir)
 	if d.wal != nil {
 		return d.wal.Close()
 	}

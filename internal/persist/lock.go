@@ -1,0 +1,91 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// ErrLocked reports that another live process holds the state directory.
+// Two writers interleaving WAL appends on one directory would corrupt the
+// log-before-apply invariant silently, so the second Open/Create must
+// fail fast instead. errors.Is-match this to distinguish "directory busy"
+// from real corruption.
+var ErrLocked = errors.New("persist: state directory locked by a live process")
+
+// lockName is the pidfile guarding a state directory. It is created with
+// O_EXCL by the opening process and removed on Close; a crash leaves it
+// behind, which the next Open treats as stale once the recorded pid is
+// provably not alive.
+const lockName = "LOCK"
+
+func lockPath(dir string) string { return filepath.Join(dir, lockName) }
+
+// acquireLock takes the exclusive pidfile for dir. A present lock naming
+// a live pid (including our own: a second Durable in this process is just
+// as unsound as one in another) returns ErrLocked; a lock naming a dead
+// pid or holding garbage is stale debris from a crash and is broken once.
+// The break-then-recreate window is a documented best-effort race: two
+// recoverers can both observe the same stale lock, and the O_EXCL
+// recreate serializes them — the loser sees the winner's fresh lock and
+// reports ErrLocked.
+func acquireLock(dir string) error {
+	for attempt := 0; ; attempt++ {
+		f, err := os.OpenFile(lockPath(dir), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			_, werr := fmt.Fprintf(f, "%d\n", os.Getpid())
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				os.Remove(lockPath(dir))
+				return werr
+			}
+			return nil
+		}
+		if !errors.Is(err, os.ErrExist) || attempt > 0 {
+			if errors.Is(err, os.ErrExist) {
+				return fmt.Errorf("persist: %s reappeared while breaking a stale lock: %w", lockPath(dir), ErrLocked)
+			}
+			return err
+		}
+		data, rerr := os.ReadFile(lockPath(dir))
+		if rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+			return rerr
+		}
+		pid, perr := strconv.Atoi(strings.TrimSpace(string(data)))
+		if rerr == nil && perr == nil && pidAlive(pid) {
+			return fmt.Errorf("persist: %s held by pid %d: %w", dir, pid, ErrLocked)
+		}
+		// Stale (dead pid) or unreadable (torn write during a crash):
+		// break it and retry the exclusive create exactly once.
+		if err := os.Remove(lockPath(dir)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+}
+
+// releaseLock drops the pidfile. Idempotent: a lock already removed by a
+// simulated crash (see Durable.fire) is not an error.
+func releaseLock(dir string) {
+	os.Remove(lockPath(dir))
+}
+
+// pidAlive reports whether pid refers to a live process. Signal 0 probes
+// existence without delivering anything; EPERM means the process exists
+// but belongs to someone else — still alive, still a conflict.
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}

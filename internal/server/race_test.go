@@ -1,0 +1,77 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestServeSnapshotSwapRace is the -race regression for the read/flush
+// audit: concurrent readers must never observe engine internals mid
+// Flush, because the atomic snapshot swap is the only cross-goroutine
+// handoff — readers query only published (*Result, *Graph) pairs while
+// the writer mutates the engine and publishes new versions. Run under
+// the race detector (CI matches Serve|Swap), any read touching writer
+// state shows up as a data race here.
+func TestServeSnapshotSwapRace(t *testing.T) {
+	const n = 25
+	s, ts := newTestServer(t, n, func(cfg *Config) {
+		cfg.MaxInflight = 8
+	})
+
+	var wg sync.WaitGroup
+	stopReads := make(chan struct{})
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for q := 0; ; q++ {
+				select {
+				case <-stopReads:
+					return
+				default:
+				}
+				var url string
+				switch q % 3 {
+				case 0:
+					url = fmt.Sprintf("%s/v1/distance?u=%d&v=%d", ts.URL, (q+r)%n, (q*5+r)%n)
+				case 1:
+					url = fmt.Sprintf("%s/v1/path?u=%d&v=%d", ts.URL, (q*3+r)%n, (q+2*r)%n)
+				default:
+					url = ts.URL + "/v1/stats"
+				}
+				body, status := getJSON(t, url)
+				if status != http.StatusOK && body["code"] != codeShed {
+					t.Errorf("reader %d: status %d body %v", r, status, body)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// The writer interleaves inserts, deletes, and checkpoints — every
+	// publish swaps a snapshot under the readers.
+	for m := 0; m < 10; m++ {
+		var body map[string]any
+		var status int
+		switch m % 3 {
+		case 0:
+			body, status = postJSON(t, ts.URL+"/v1/mutate",
+				mutateRequest{Op: "insert-points", Points: [][]float64{{2000 + float64(m), 2000}}})
+		case 1:
+			body, status = postJSON(t, ts.URL+"/v1/mutate", mutateRequest{Op: "delete-points", Ids: []int{m}})
+		default:
+			body, status = postJSON(t, ts.URL+"/v1/checkpoint", struct{}{})
+		}
+		if status != http.StatusOK {
+			t.Fatalf("writer op %d: status %d body %v", m, status, body)
+		}
+	}
+	close(stopReads)
+	wg.Wait()
+
+	if v := s.snap.Load().version; v < 11 {
+		t.Fatalf("snapshot version %d after 10 writer ops, want >= 11", v)
+	}
+}

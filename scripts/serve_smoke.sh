@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end daemon smoke test, mirroring the CI step:
+# seed-and-serve a fresh spannerd, poll /healthz until live, run a query
+# and a durable mutation, SIGTERM it and require a clean drain, then
+# restart on the same state directory and require the recovered digest to
+# equal the digest served at shutdown. Uses only curl + grep so it runs
+# anywhere the repo builds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr=127.0.0.1:17641
+dir=$(mktemp -d)
+log=$(mktemp)
+bin=$(mktemp -u)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$dir" "$log" "$bin"
+}
+trap cleanup EXIT
+
+go build -o "$bin" ./cmd/spannerd
+
+wait_live() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "serve_smoke: daemon died before becoming live:" >&2
+      cat "$log" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  echo "serve_smoke: daemon never became live:" >&2
+  cat "$log" >&2
+  return 1
+}
+
+digest() {
+  curl -fsS "http://$addr/v1/stats" | grep -o '"digest":"[0-9a-f]*"'
+}
+
+echo "== seed + serve"
+"$bin" -addr "$addr" -dir "$dir" -n 200 -seed 7 >"$log" 2>&1 &
+pid=$!
+wait_live
+
+echo "== query"
+curl -fsS "http://$addr/v1/distance?u=0&v=1" | grep -q '"distance"'
+curl -fsS "http://$addr/v1/path?u=0&v=5" | grep -q '"path"'
+
+echo "== mutate"
+curl -fsS -X POST --data '{"op":"insert-points","points":[[1000,1000]]}' \
+  "http://$addr/v1/mutate" | grep -q '"digest"'
+before=$(digest)
+[ -n "$before" ]
+
+echo "== drain"
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+grep -q "drained cleanly" "$log" || {
+  echo "serve_smoke: no clean-drain line in daemon log:" >&2
+  cat "$log" >&2
+  exit 1
+}
+
+echo "== restart + digest compare"
+"$bin" -addr "$addr" -dir "$dir" >"$log" 2>&1 &
+pid=$!
+wait_live
+after=$(digest)
+if [ "$before" != "$after" ]; then
+  echo "serve_smoke: digest changed across restart: $before -> $after" >&2
+  exit 1
+fi
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+
+echo "serve_smoke: ok ($before survives restart)"

@@ -119,6 +119,11 @@ var (
 	// the directory; with a build function supplied the durable spanner
 	// is created fresh instead of surfacing it.
 	ErrNoState = persist.ErrNoState
+	// ErrLocked is wrapped when OpenDurable finds the state directory
+	// held by another live process; two writers interleaving WAL appends
+	// would corrupt recovery, so the second opener fails fast. A lock
+	// left by a crashed holder is detected as stale and broken.
+	ErrLocked = persist.ErrLocked
 )
 
 // CandidateSource re-exports the streaming candidate-supply interface: a
@@ -385,6 +390,8 @@ type DurableOptions = persist.Options
 // completed) and build is non-nil, the spanner is built from scratch via
 // build and persisted; with build nil the ErrNoState is surfaced.
 // workers selects the replay engine's concurrency (0 = GOMAXPROCS).
+// The directory is held under an exclusive lock until Close; a second
+// OpenDurable on a dir a live process already holds returns ErrLocked.
 func OpenDurable(dir string, workers int, build func() (*Incremental, error)) (*Durable, error) {
 	o := persist.Options{
 		Metric: core.MetricParallelOptions{Workers: workers},
